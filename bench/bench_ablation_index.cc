@@ -1,0 +1,127 @@
+// Ablation study of the design choices DESIGN.md calls out:
+//  (a) sigma vs pivot count / index size / candidate-set size — how the
+//      stability threshold controls the Merge pass;
+//  (b) SubsetIndex retrieval vs a brute-force superset filter over the
+//      stored (mask, id) pairs — what the prefix tree actually buys;
+//  (c) candidate-set size vs full-skyline scan — the Lemma 5.1 pruning
+//      factor that the boosted algorithms exploit.
+#include <chrono>
+#include <iostream>
+#include <random>
+
+#include "src/algo/registry.h"
+#include "src/data/generator.h"
+#include "src/harness/options.h"
+#include "src/harness/table.h"
+#include "src/subset/merge.h"
+#include "src/subset/subset_index.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const std::size_t n = opts.full ? 100000 : 10000;
+  const Dim d = 8;
+  std::cout << "# Ablation: subset-index design choices (8-D UI, " << n
+            << " points)\n\n";
+  Dataset data = Generate(DataType::kUniformIndependent, n, d, opts.seed);
+
+  // (a) sigma vs Merge outcome and boosted-run statistics.
+  {
+    TextTable table({"sigma", "pivots", "pruned", "remaining",
+                     "index nodes", "mean candidates/query", "DT (sdi-subset)"});
+    for (int sigma = 2; sigma <= static_cast<int>(d); ++sigma) {
+      MergeResult merge = MergeSubspaces(data, sigma);
+      SubsetIndex index(d);
+      for (std::size_t i = 0; i < merge.remaining.size(); ++i) {
+        index.Add(merge.remaining[i], merge.subspaces[i]);
+      }
+      AlgorithmOptions algo_opts;
+      algo_opts.sigma = sigma;
+      SkylineStats stats;
+      MakeAlgorithm("sdi-subset", algo_opts)->Compute(data, &stats);
+      const double mean_candidates =
+          stats.index_queries == 0
+              ? 0.0
+              : static_cast<double>(stats.index_candidates) /
+                    static_cast<double>(stats.index_queries);
+      table.AddRow({std::to_string(sigma),
+                    std::to_string(merge.pivots.size()),
+                    std::to_string(merge.pruned),
+                    std::to_string(merge.remaining.size()),
+                    std::to_string(index.num_nodes()),
+                    TextTable::FormatNumber(mean_candidates),
+                    TextTable::FormatNumber(
+                        stats.MeanDominanceTests(data.num_points()))});
+    }
+    table.Print(std::cout, "Ablation (a): stability threshold vs Merge/index");
+    std::cout << '\n';
+  }
+
+  // (b) prefix-tree query vs brute-force superset filter.
+  {
+    MergeResult merge = MergeSubspaces(data, 3);
+    SubsetIndex index(d);
+    std::vector<std::pair<PointId, Subspace>> flat;
+    for (std::size_t i = 0; i < merge.remaining.size(); ++i) {
+      index.Add(merge.remaining[i], merge.subspaces[i]);
+      flat.emplace_back(merge.remaining[i], merge.subspaces[i]);
+    }
+    const int kQueries = 20000;
+    std::mt19937_64 rng(opts.seed);
+    std::vector<Subspace> queries(kQueries);
+    for (auto& q : queries) {
+      q = merge.subspaces[rng() % merge.subspaces.size()];
+    }
+    std::vector<PointId> out;
+    std::size_t sink = 0;
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (const Subspace& q : queries) {
+      out.clear();
+      index.Query(q, &out);
+      sink += out.size();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    for (const Subspace& q : queries) {
+      out.clear();
+      for (const auto& [id, mask] : flat) {
+        if (mask.IsSupersetOf(q)) out.push_back(id);
+      }
+      sink += out.size();
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    const double tree_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double brute_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    TextTable table({"Retrieval", "stored", "queries", "total ms"});
+    table.AddRow({"prefix tree (Algorithms 3/4)",
+                  std::to_string(flat.size()), std::to_string(kQueries),
+                  TextTable::FormatNumber(tree_ms)});
+    table.AddRow({"brute-force superset filter", std::to_string(flat.size()),
+                  std::to_string(kQueries), TextTable::FormatNumber(brute_ms)});
+    table.Print(std::cout, "Ablation (b): index vs linear superset filter "
+                           "(checksum " + std::to_string(sink % 1000) + ")");
+    std::cout << '\n';
+  }
+
+  // (c) Lemma 5.1 pruning factor: candidates per query vs skyline size.
+  {
+    SkylineStats stats;
+    auto skyline = MakeAlgorithm("sdi-subset")->Compute(data, &stats);
+    const double mean_candidates =
+        static_cast<double>(stats.index_candidates) /
+        static_cast<double>(stats.index_queries);
+    TextTable table({"quantity", "value"});
+    table.AddRow({"skyline size", std::to_string(skyline.size())});
+    table.AddRow({"index queries", std::to_string(stats.index_queries)});
+    table.AddRow({"mean candidates per query",
+                  TextTable::FormatNumber(mean_candidates)});
+    table.AddRow(
+        {"pruning factor vs full-skyline scan",
+         TextTable::FormatNumber(static_cast<double>(skyline.size()) /
+                                 mean_candidates)});
+    table.Print(std::cout, "Ablation (c): Lemma 5.1 candidate pruning");
+  }
+  return 0;
+}

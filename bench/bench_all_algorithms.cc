@@ -1,0 +1,37 @@
+// Supplementary: every registered algorithm (including the ones the
+// paper's tables omit — BNL, LESS, Index, D&C, BBS, parallel) on one
+// 8-D dataset per data family.
+#include <iostream>
+
+#include "src/algo/registry.h"
+#include "src/data/generator.h"
+#include "src/harness/options.h"
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const std::size_t n = opts.full ? 200000 : 10000;
+  const Dim d = 8;
+  std::cout << "# All registered algorithms, 8-D, " << n << " points\n\n";
+
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, n, d, opts.seed);
+    TextTable table({"Algorithm", "DT/point", "RT (ms)", "skyline"});
+    for (const std::string& name : AlgorithmNames()) {
+      auto algo = MakeAlgorithm(name);
+      RunResult r = RunAlgorithm(*algo, data, opts.EffectiveRuns());
+      table.AddRow({name, TextTable::FormatNumber(r.mean_dominance_tests),
+                    TextTable::FormatNumber(r.elapsed_ms),
+                    std::to_string(r.skyline_size)});
+      std::cerr << "  [all] " << ShortName(type) << " " << name << " done\n";
+    }
+    table.Print(std::cout, std::string(ShortName(type)) +
+                               ": all algorithms, 8-D, " +
+                               std::to_string(n) + " points");
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Shared plumbing for the table/figure reproduction binaries: the
+// standard algorithm roster of the paper's evaluation and the two table
+// shapes (dimensionality sweep, cardinality sweep) used by Tables 2-13.
+#ifndef SKYLINE_BENCH_BENCH_COMMON_H_
+#define SKYLINE_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algo/registry.h"
+#include "src/data/generator.h"
+#include "src/harness/options.h"
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+
+namespace skyline::bench {
+
+/// The algorithm rows of Tables 2-14, in the paper's order: each base
+/// directly followed by its boosted variant and a performance-gain row,
+/// then the two BSkyTree baselines.
+struct Roster {
+  std::vector<std::pair<std::string, std::string>> pairs = BoostedPairs();
+  std::vector<std::string> baselines = {"bskytree-s", "bskytree-p"};
+};
+
+/// DT and RT measurements for every roster algorithm on one dataset.
+struct Measurements {
+  std::map<std::string, RunResult> by_algorithm;
+};
+
+inline Measurements MeasureAll(const Dataset& data, const BenchOptions& opts,
+                               int sigma = 0) {
+  Measurements out;
+  Roster roster;
+  AlgorithmOptions algo_opts;
+  algo_opts.sigma = sigma;
+  auto run = [&](const std::string& name) {
+    auto algo = MakeAlgorithm(name, algo_opts);
+    out.by_algorithm[name] = RunAlgorithm(*algo, data, opts.EffectiveRuns());
+  };
+  for (const auto& [base, boosted] : roster.pairs) {
+    run(base);
+    run(boosted);
+  }
+  for (const auto& name : roster.baselines) run(name);
+  return out;
+}
+
+/// Prints the paper's table layout: one column per sweep entry, one row
+/// per algorithm, plus a performance-gain row under every boosted
+/// algorithm. `metric` selects DT or RT.
+enum class Metric { kDominanceTests, kElapsedMs };
+
+inline double MetricOf(const RunResult& r, Metric metric) {
+  return metric == Metric::kDominanceTests ? r.mean_dominance_tests
+                                           : r.elapsed_ms;
+}
+
+inline void PrintSweepTable(std::ostream& out, const std::string& title,
+                            const std::string& sweep_header,
+                            const std::vector<std::string>& sweep_labels,
+                            const std::vector<Measurements>& columns,
+                            Metric metric) {
+  Roster roster;
+  std::vector<std::string> headers = {sweep_header};
+  headers.insert(headers.end(), sweep_labels.begin(), sweep_labels.end());
+  TextTable table(headers);
+  auto metric_row = [&](const std::string& name) {
+    std::vector<std::string> row = {name};
+    for (const auto& m : columns) {
+      row.push_back(
+          TextTable::FormatNumber(MetricOf(m.by_algorithm.at(name), metric)));
+    }
+    table.AddRow(std::move(row));
+  };
+  for (const auto& [base, boosted] : roster.pairs) {
+    metric_row(base);
+    metric_row(boosted);
+    std::vector<std::string> gain = {"  gain"};
+    for (const auto& m : columns) {
+      gain.push_back(
+          TextTable::FormatGain(MetricOf(m.by_algorithm.at(base), metric),
+                                MetricOf(m.by_algorithm.at(boosted), metric)));
+    }
+    table.AddRow(std::move(gain));
+  }
+  for (const auto& name : roster.baselines) metric_row(name);
+  table.Print(out, title);
+  out << '\n';
+}
+
+/// Runs the dimensionality sweep of Tables 2/3, 6/7, 10/11 for one data
+/// type and prints both metric tables.
+inline void RunDimensionSweep(DataType type, const BenchOptions& opts,
+                              const std::string& dt_title,
+                              const std::string& rt_title) {
+  const std::size_t n = opts.SweepCardinality();
+  std::vector<std::string> labels;
+  std::vector<Measurements> columns;
+  for (unsigned d : opts.DimensionSweep()) {
+    Dataset data = Generate(type, n, d, opts.seed);
+    columns.push_back(MeasureAll(data, opts));
+    labels.push_back(std::to_string(d) + "-D");
+    std::cerr << "  [" << ShortName(type) << " dim sweep] d=" << d
+              << " done\n";
+  }
+  PrintSweepTable(std::cout, dt_title, "Dimensionality", labels, columns,
+                  Metric::kDominanceTests);
+  PrintSweepTable(std::cout, rt_title, "Dimensionality", labels, columns,
+                  Metric::kElapsedMs);
+}
+
+/// Runs the cardinality sweep of Tables 4/5, 8/9, 12/13 (8-D data).
+inline void RunCardinalitySweep(DataType type, const BenchOptions& opts,
+                                const std::string& dt_title,
+                                const std::string& rt_title) {
+  const Dim d = 8;
+  std::vector<std::string> labels;
+  std::vector<Measurements> columns;
+  for (std::size_t n : opts.CardinalitySweep()) {
+    Dataset data = Generate(type, n, d, opts.seed);
+    columns.push_back(MeasureAll(data, opts));
+    if (n % 1000 == 0) {
+      labels.push_back(std::to_string(n / 1000) + "K");
+    } else {
+      labels.push_back(std::to_string(n));
+    }
+    std::cerr << "  [" << ShortName(type) << " card sweep] n=" << n
+              << " done\n";
+  }
+  PrintSweepTable(std::cout, dt_title, "Cardinality", labels, columns,
+                  Metric::kDominanceTests);
+  PrintSweepTable(std::cout, rt_title, "Cardinality", labels, columns,
+                  Metric::kElapsedMs);
+}
+
+inline void PrintScaleBanner(const BenchOptions& opts, const char* what) {
+  std::cout << "# " << what << " — "
+            << (opts.full ? "FULL (paper) scale" : "reduced scale")
+            << ", runs=" << opts.EffectiveRuns() << ", seed=" << opts.seed
+            << (opts.full ? "" : "  [pass --full for the paper's scale]")
+            << "\n\n";
+}
+
+}  // namespace skyline::bench
+
+#endif  // SKYLINE_BENCH_BENCH_COMMON_H_

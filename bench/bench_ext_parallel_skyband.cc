@@ -1,0 +1,54 @@
+// Extension bench: (a) parallel skyline scaling over worker threads;
+// (b) k-skyband sizes and cost as k grows.
+#include <iostream>
+
+#include "src/data/generator.h"
+#include "src/extras/skyband.h"
+#include "src/harness/options.h"
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+#include "src/parallel/parallel_skyline.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const std::size_t n = opts.full ? 200000 : 20000;
+
+  // Partitioned parallelism trades extra dominance tests (each worker's
+  // local skyline is larger than the global one, and local skylines are
+  // cross-filtered) for concurrency. It pays off when the skyline is a
+  // small fraction of the data (low d) and inverts when the skyline
+  // fraction is large (high d) — both regimes shown.
+  for (Dim d : {4u, 8u}) {
+    Dataset data = Generate(DataType::kUniformIndependent, n, d, opts.seed);
+    TextTable table({"threads", "RT (ms)", "DT/point", "skyline"});
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      ParallelSfs algo(threads);
+      RunResult r = RunAlgorithm(algo, data, opts.EffectiveRuns());
+      table.AddRow({std::to_string(threads),
+                    TextTable::FormatNumber(r.elapsed_ms),
+                    TextTable::FormatNumber(r.mean_dominance_tests),
+                    std::to_string(r.skyline_size)});
+      std::cerr << "  [parallel] d=" << d << " threads=" << threads
+                << " done\n";
+    }
+    table.Print(std::cout, "Parallel skyline scaling (" + std::to_string(d) +
+                               "-D UI, " + std::to_string(n) + " points)");
+    std::cout << '\n';
+  }
+
+  {
+    Dataset data = Generate(DataType::kUniformIndependent, n / 2, 5, opts.seed);
+    TextTable table({"k", "skyband size", "DT/point"});
+    for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      SkybandResult band = ComputeSkyband(data, k);
+      table.AddRow({std::to_string(k), std::to_string(band.points.size()),
+                    TextTable::FormatNumber(
+                        static_cast<double>(band.dominance_tests) /
+                        static_cast<double>(data.num_points()))});
+    }
+    table.Print(std::cout, "k-skyband growth (5-D UI, " +
+                               std::to_string(n / 2) + " points)");
+  }
+  return 0;
+}

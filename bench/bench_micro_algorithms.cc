@@ -1,0 +1,61 @@
+// End-to-end micro benchmarks: every registered algorithm on a fixed
+// 8-D UI dataset and on an 8-D AC dataset, via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "src/algo/registry.h"
+#include "src/data/generator.h"
+
+namespace {
+
+using namespace skyline;
+
+const Dataset& UiData() {
+  static const Dataset data =
+      Generate(DataType::kUniformIndependent, 8000, 8, 3);
+  return data;
+}
+
+const Dataset& AcData() {
+  static const Dataset data =
+      Generate(DataType::kAntiCorrelated, 2000, 8, 3);
+  return data;
+}
+
+void RunAlgo(benchmark::State& state, const std::string& name,
+             const Dataset& data) {
+  auto algo = MakeAlgorithm(name);
+  SkylineStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo->Compute(data, &stats));
+  }
+  state.counters["dominance_tests"] =
+      static_cast<double>(stats.dominance_tests);
+  state.counters["skyline"] = static_cast<double>(stats.skyline_size);
+}
+
+void BM_Ui(benchmark::State& state, const std::string& name) {
+  RunAlgo(state, name, UiData());
+}
+void BM_Ac(benchmark::State& state, const std::string& name) {
+  RunAlgo(state, name, AcData());
+}
+
+int RegisterAll() {
+  for (const std::string& name : AlgorithmNames()) {
+    benchmark::RegisterBenchmark(("BM_UI_8D_8K/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Ui(s, name);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("BM_AC_8D_2K/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Ac(s, name);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}
+
+const int kRegistered = RegisterAll();
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Micro benchmarks of the subset-approach building blocks: dominance
+// kernels, dominating-subspace computation, SubsetIndex add/query, and
+// the Merge pass, via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/core/dominance.h"
+#include "src/data/generator.h"
+#include "src/subset/merge.h"
+#include "src/subset/subset_index.h"
+
+namespace {
+
+using namespace skyline;
+
+void BM_DominanceTest(benchmark::State& state) {
+  const Dim d = static_cast<Dim>(state.range(0));
+  Dataset data = Generate(DataType::kUniformIndependent, 1024, d, 1);
+  PointId a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Dominates(data.row(a), data.row(1023 - a), d));
+    a = (a + 1) & 1023;
+  }
+}
+BENCHMARK(BM_DominanceTest)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DominatingSubspace(benchmark::State& state) {
+  const Dim d = static_cast<Dim>(state.range(0));
+  Dataset data = Generate(DataType::kUniformIndependent, 1024, d, 1);
+  PointId a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DominatingSubspace(data.row(a), data.row(1023 - a), d));
+    a = (a + 1) & 1023;
+  }
+}
+BENCHMARK(BM_DominatingSubspace)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SubsetIndexAdd(benchmark::State& state) {
+  const Dim d = static_cast<Dim>(state.range(0));
+  std::mt19937_64 rng(7);
+  const std::uint64_t space = Subspace::Full(d).bits();
+  std::vector<Subspace> masks(4096);
+  for (auto& m : masks) {
+    m = Subspace(rng() & space);
+    if (m.empty()) m = Subspace::Single(0);
+  }
+  std::size_t i = 0;
+  SubsetIndex index(d);
+  for (auto _ : state) {
+    index.Add(static_cast<PointId>(i), masks[i & 4095]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_SubsetIndexAdd)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SubsetIndexQuery(benchmark::State& state) {
+  const Dim d = static_cast<Dim>(state.range(0));
+  const std::size_t stored = static_cast<std::size_t>(state.range(1));
+  std::mt19937_64 rng(7);
+  const std::uint64_t space = Subspace::Full(d).bits();
+  SubsetIndex index(d);
+  std::vector<Subspace> masks(stored);
+  for (std::size_t i = 0; i < stored; ++i) {
+    masks[i] = Subspace(rng() & space);
+    if (masks[i].empty()) masks[i] = Subspace::Single(0);
+    index.Add(static_cast<PointId>(i), masks[i]);
+  }
+  std::vector<PointId> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    index.Query(masks[i % stored], &out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_SubsetIndexQuery)
+    ->Args({8, 1000})
+    ->Args({8, 10000})
+    ->Args({16, 10000})
+    ->Args({16, 100000});
+
+void BM_MergePass(benchmark::State& state) {
+  const int sigma = static_cast<int>(state.range(0));
+  Dataset data = Generate(DataType::kUniformIndependent, 20000, 8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeSubspaces(data, sigma));
+  }
+}
+BENCHMARK(BM_MergePass)->Arg(2)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Table 1: skyline size of the synthetic datasets — dimensionality sweep
+// at the sweep cardinality (paper: 200K, 2-D..24-D) and cardinality sweep
+// at 8-D (paper: 100K..1M), for AC, CO and UI data.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/algo/bskytree.h"
+
+namespace {
+
+using namespace skyline;
+
+std::size_t SkylineSize(DataType type, std::size_t n, Dim d,
+                        std::uint64_t seed) {
+  Dataset data = Generate(type, n, d, seed);
+  return BSkyTreeP().Compute(data).size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  bench::PrintScaleBanner(opts, "Table 1: skyline size of synthetic datasets");
+
+  const std::vector<DataType> types = {DataType::kAntiCorrelated,
+                                       DataType::kCorrelated,
+                                       DataType::kUniformIndependent};
+
+  {
+    std::vector<std::string> headers = {"Dimensionality"};
+    for (unsigned d : opts.DimensionSweep()) {
+      headers.push_back(std::to_string(d) + "-D");
+    }
+    TextTable table(headers);
+    for (DataType type : types) {
+      std::vector<std::string> row = {std::string(ShortName(type)) +
+                                      " datasets"};
+      for (unsigned d : opts.DimensionSweep()) {
+        row.push_back(std::to_string(
+            SkylineSize(type, opts.SweepCardinality(), d, opts.seed)));
+        std::cerr << "  [skyline size] " << ShortName(type) << " d=" << d
+                  << " done\n";
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout,
+                "Table 1a: skyline size vs dimensionality (" +
+                    std::to_string(opts.SweepCardinality()) + " points)");
+    std::cout << '\n';
+  }
+
+  {
+    std::vector<std::string> headers = {"Cardinality"};
+    for (std::size_t n : opts.CardinalitySweep()) {
+      headers.push_back(n % 1000 == 0 ? std::to_string(n / 1000) + "K"
+                                      : std::to_string(n));
+    }
+    TextTable table(headers);
+    for (DataType type : types) {
+      std::vector<std::string> row = {std::string(ShortName(type)) +
+                                      " datasets"};
+      for (std::size_t n : opts.CardinalitySweep()) {
+        row.push_back(std::to_string(SkylineSize(type, n, 8, opts.seed)));
+        std::cerr << "  [skyline size] " << ShortName(type) << " n=" << n
+                  << " done\n";
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout, "Table 1b: skyline size vs cardinality (8-D)");
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Tables 2 and 3: mean dominance test numbers and elapsed time on the
+// synthetic AC dataset with respect to the dimensionality.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  bench::PrintScaleBanner(opts, "Tables 2/3: AC data, dimensionality sweep");
+  bench::RunDimensionSweep(
+      DataType::kAntiCorrelated, opts,
+      "Table 2: mean dominance test numbers, AC, dimensionality sweep",
+      "Table 3: elapsed time (ms), AC, dimensionality sweep");
+  return 0;
+}

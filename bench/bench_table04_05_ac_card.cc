@@ -1,0 +1,14 @@
+// Tables 4 and 5: mean dominance test numbers and elapsed time on the
+// synthetic 8-D AC dataset with respect to the cardinality.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  bench::PrintScaleBanner(opts, "Tables 4/5: AC data, cardinality sweep");
+  bench::RunCardinalitySweep(
+      DataType::kAntiCorrelated, opts,
+      "Table 4: mean dominance test numbers, 8-D AC, cardinality sweep",
+      "Table 5: elapsed time (ms), 8-D AC, cardinality sweep");
+  return 0;
+}

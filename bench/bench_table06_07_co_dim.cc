@@ -1,0 +1,14 @@
+// Tables 6 and 7: mean dominance test numbers and elapsed time on the
+// synthetic CO dataset with respect to the dimensionality.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  bench::PrintScaleBanner(opts, "Tables 6/7: CO data, dimensionality sweep");
+  bench::RunDimensionSweep(
+      DataType::kCorrelated, opts,
+      "Table 6: mean dominance test numbers, CO, dimensionality sweep",
+      "Table 7: elapsed time (ms), CO, dimensionality sweep");
+  return 0;
+}

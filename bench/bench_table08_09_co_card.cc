@@ -1,0 +1,14 @@
+// Tables 8 and 9: mean dominance test numbers and elapsed time on the
+// synthetic 8-D CO dataset with respect to the cardinality.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  bench::PrintScaleBanner(opts, "Tables 8/9: CO data, cardinality sweep");
+  bench::RunCardinalitySweep(
+      DataType::kCorrelated, opts,
+      "Table 8: mean dominance test numbers, 8-D CO, cardinality sweep",
+      "Table 9: elapsed time (ms), 8-D CO, cardinality sweep");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Tables 10 and 11: mean dominance test numbers and elapsed time on the
+// synthetic UI dataset with respect to the dimensionality.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  bench::PrintScaleBanner(opts, "Tables 10/11: UI data, dimensionality sweep");
+  bench::RunDimensionSweep(
+      DataType::kUniformIndependent, opts,
+      "Table 10: mean dominance test numbers, UI, dimensionality sweep",
+      "Table 11: elapsed time (ms), UI, dimensionality sweep");
+  return 0;
+}

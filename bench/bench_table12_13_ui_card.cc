@@ -1,0 +1,14 @@
+// Tables 12 and 13: mean dominance test numbers and elapsed time on the
+// synthetic 8-D UI dataset with respect to the cardinality.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  bench::PrintScaleBanner(opts, "Tables 12/13: UI data, cardinality sweep");
+  bench::RunCardinalitySweep(
+      DataType::kUniformIndependent, opts,
+      "Table 12: mean dominance test numbers, 8-D UI, cardinality sweep",
+      "Table 13: elapsed time (ms), 8-D UI, cardinality sweep");
+  return 0;
+}

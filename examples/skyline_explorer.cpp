@@ -1,0 +1,104 @@
+// Skyline explorer: a small CLI to generate a synthetic dataset, run any
+// registered algorithm on it, and compare against others.
+//
+//   $ ./build/examples/skyline_explorer --type=UI --n=20000 --d=8
+//         --algo=sdi-subset --compare
+//
+// Flags:
+//   --type=AC|CO|UI     data family                (default UI)
+//   --n=N               cardinality                (default 20000)
+//   --d=D               dimensionality             (default 8)
+//   --seed=S            generator seed             (default 42)
+//   --algo=NAME         algorithm to run           (default sdi-subset)
+//   --sigma=K           stability threshold        (default auto d/3)
+//   --auto-sigma        pick sigma with the sample-based cost model
+//   --compare           also run every other algorithm and tabulate
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "src/algo/registry.h"
+#include "src/data/generator.h"
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+#include "src/subset/sigma_estimator.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+
+  DataType type = DataType::kUniformIndependent;
+  std::size_t n = 20000;
+  unsigned d = 8;
+  std::uint64_t seed = 42;
+  std::string algo_name = "sdi-subset";
+  AlgorithmOptions algo_opts;
+  bool compare = false;
+  bool auto_sigma = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--type=", 0) == 0) {
+      if (!ParseDataType(arg.substr(7), &type)) {
+        std::cerr << "unknown data type: " << arg.substr(7) << "\n";
+        return 1;
+      }
+    } else if (arg.rfind("--n=", 0) == 0) {
+      n = std::strtoull(arg.data() + 4, nullptr, 10);
+    } else if (arg.rfind("--d=", 0) == 0) {
+      d = static_cast<unsigned>(std::atoi(arg.data() + 4));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.data() + 7, nullptr, 10);
+    } else if (arg.rfind("--algo=", 0) == 0) {
+      algo_name = std::string(arg.substr(7));
+    } else if (arg.rfind("--sigma=", 0) == 0) {
+      algo_opts.sigma = std::atoi(arg.data() + 8);
+    } else if (arg == "--auto-sigma") {
+      auto_sigma = true;
+    } else if (arg == "--compare") {
+      compare = true;
+    } else if (arg == "--help") {
+      std::cout << "see the comment at the top of skyline_explorer.cpp\n";
+      return 0;
+    }
+  }
+  if (d < 1 || d > 64) {
+    std::cerr << "dimensionality must be in [1, 64]\n";
+    return 1;
+  }
+
+  std::cout << "generating " << ShortName(type) << " data: " << n
+            << " points, " << d << "-D, seed " << seed << "\n";
+  Dataset data = Generate(type, n, d, seed);
+
+  if (auto_sigma) {
+    SigmaEstimate est = EstimateSigma(data, /*sample_size=*/2000, seed);
+    algo_opts.sigma = est.sigma;
+    std::cout << "cost model picked sigma = " << est.sigma << " from a "
+              << est.sample_size << "-point sample\n";
+  }
+
+  const std::vector<std::string> names =
+      compare ? AlgorithmNames() : std::vector<std::string>{algo_name};
+  TextTable table({"Algorithm", "skyline", "DT/point", "RT (ms)",
+                   "pivots", "index queries"});
+  for (const std::string& name : names) {
+    auto algo = MakeAlgorithm(name, algo_opts);
+    if (algo == nullptr) {
+      std::cerr << "unknown algorithm: " << name << "\n";
+      return 1;
+    }
+    RunResult r = RunAlgorithm(*algo, data, 1);
+    table.AddRow({name, std::to_string(r.skyline_size),
+                  TextTable::FormatNumber(r.mean_dominance_tests),
+                  TextTable::FormatNumber(r.elapsed_ms),
+                  r.stats.pivot_count > 0
+                      ? std::to_string(r.stats.pivot_count)
+                      : std::string("-"),
+                  r.stats.index_queries > 0
+                      ? std::to_string(r.stats.index_queries)
+                      : std::string("-")});
+    std::cerr << "  " << name << " done\n";
+  }
+  table.Print(std::cout, "skyline explorer results");
+  return 0;
+}

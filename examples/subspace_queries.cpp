@@ -1,0 +1,47 @@
+// Subspace-skyline example: materialize the skycube of a small hotel
+// table once, then answer "best hotels if you only care about ..."
+// queries for every attribute combination from the cube.
+//
+//   $ ./build/examples/subspace_queries
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/skycube/skycube.h"
+
+int main() {
+  using namespace skyline;
+
+  const std::vector<std::string> names = {
+      "Aurora", "Bellevue", "Coral", "Dune",   "Esplanade",
+      "Fjord",  "Grand",    "Harbor", "Iris",  "Jasmine"};
+  const std::vector<std::string> attrs = {"price", "distance", "noise"};
+  Dataset hotels = Dataset::FromRows({
+      {55, 1.9, 4},  {95, 0.7, 7}, {60, 1.2, 5}, {120, 0.3, 8},
+      {70, 1.5, 2},  {65, 1.0, 6}, {150, 0.2, 9}, {58, 2.5, 1},
+      {90, 0.9, 3},  {75, 0.8, 6},
+  });
+
+  Skycube cube = Skycube::Compute(hotels);
+  std::cout << "skycube of " << hotels.num_points() << " hotels over "
+            << cube.num_cuboids() << " attribute combinations ("
+            << cube.total_size() << " entries total)\n\n";
+
+  for (std::uint64_t bits = 1; bits < (1u << hotels.num_dims()); ++bits) {
+    const Subspace v(bits);
+    std::cout << "minimize {";
+    bool first = true;
+    v.ForEachDim([&](Dim i) {
+      std::cout << (first ? "" : ", ") << attrs[i];
+      first = false;
+    });
+    std::cout << "}: ";
+    first = true;
+    for (PointId id : cube.skyline(v)) {
+      std::cout << (first ? "" : ", ") << names[id];
+      first = false;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "src/algo/algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyline {
+
+SkylineAlgorithm::~SkylineAlgorithm() = default;
+
+int SkylineAlgorithm::EffectiveSigma(int option_sigma, Dim num_dims) {
+  if (option_sigma > 0) return option_sigma;
+  const int sigma = static_cast<int>(std::lround(num_dims / 3.0));
+  const int lo = std::min(2, static_cast<int>(num_dims));
+  return std::clamp(sigma, lo, static_cast<int>(num_dims));
+}
+
+}  // namespace skyline

@@ -1,0 +1,88 @@
+#include "src/algo/bbs.h"
+
+#include <queue>
+
+#include "src/algo/rtree.h"
+#include "src/core/dominance.h"
+
+namespace skyline {
+
+namespace {
+
+struct Entry {
+  Value mindist;
+  // Exactly one of the two is set.
+  const RTree::Node* node;
+  PointId point;
+
+  bool operator>(const Entry& other) const {
+    if (mindist != other.mindist) return mindist > other.mindist;
+    // Nodes before points on ties: a node can still contain a dominator
+    // of an equal-mindist point only through strictly smaller sums, but
+    // expanding first is the conservative order.
+    return node == nullptr && other.node != nullptr;
+  }
+};
+
+Value SumOf(const Value* v, Dim d) {
+  Value s = 0;
+  for (Dim i = 0; i < d; ++i) s += v[i];
+  return s;
+}
+
+}  // namespace
+
+std::vector<PointId> Bbs::Compute(const Dataset& data,
+                                  SkylineStats* stats) const {
+  const Dim d = data.num_dims();
+  if (stats != nullptr) *stats = SkylineStats{};
+  if (data.num_points() == 0) return {};
+
+  const RTree tree = RTree::BulkLoad(data, options_.partition_leaf_size);
+  std::uint64_t corner_tests = 0;
+  std::vector<PointId> result;
+
+  // Is the given corner / point row strictly dominated by a result point?
+  auto dominated_row = [&](const Value* row) {
+    for (PointId s : result) {
+      ++corner_tests;
+      if (Dominates(data.row(s), row, d)) return true;
+    }
+    return false;
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.push({SumOf(tree.root()->mbr.lo.data(), d), tree.root(),
+             kInvalidPoint});
+  while (!heap.empty()) {
+    const Entry e = heap.top();
+    heap.pop();
+    if (e.node != nullptr) {
+      // A node whose lower corner is strictly dominated contains only
+      // dominated points (every inside point weakly exceeds the corner).
+      if (dominated_row(e.node->mbr.lo.data())) continue;
+      if (e.node->IsLeaf()) {
+        for (PointId p : e.node->points) {
+          heap.push({SumOf(data.row(p), d), nullptr, p});
+        }
+      } else {
+        for (const auto& child : e.node->children) {
+          heap.push({SumOf(child->mbr.lo.data(), d), child.get(),
+                     kInvalidPoint});
+        }
+      }
+    } else {
+      // Ascending sum order: every potential dominator of this point has
+      // a strictly smaller sum and was already popped into the result.
+      if (!dominated_row(data.row(e.point))) result.push_back(e.point);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->dominance_tests = corner_tests;
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

@@ -1,0 +1,34 @@
+// BBS — Branch-and-Bound Skyline (Papadias, Tao, Fu, Seeger,
+// SIGMOD 2003 / TODS 2005). The classic optimal progressive algorithm:
+// traverse an R-tree in ascending mindist order (sum of the MBR's lower
+// corner); a popped point is a skyline point unless dominated, and a
+// popped node is expanded unless its lower corner is already strictly
+// dominated — in which case every point inside is too.
+#ifndef SKYLINE_ALGO_BBS_H_
+#define SKYLINE_ALGO_BBS_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// In-memory BBS over a bulk-loaded R-tree (see rtree.h). The R-tree is
+/// built inside Compute — its construction is part of the measured cost,
+/// like the dimension indexes of SDI.
+class Bbs final : public SkylineAlgorithm {
+ public:
+  explicit Bbs(const AlgorithmOptions& options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "bbs"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_BBS_H_

@@ -1,0 +1,65 @@
+#include "src/algo/bnl.h"
+
+#include <numeric>
+
+#include "src/core/dominance.h"
+
+namespace skyline {
+
+std::vector<PointId> Bnl::ComputeSubset(DominanceTester& tester,
+                                        const std::vector<PointId>& ids) {
+  // The window holds current candidates. For each incoming point p:
+  //  - if some window point dominates p, drop p;
+  //  - otherwise evict every window point dominated by p and append p.
+  // Equal duplicates are both kept: neither dominates the other.
+  std::vector<PointId> window;
+  window.reserve(64);
+  for (PointId p : ids) {
+    bool dominated = false;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      PointId w = window[i];
+      switch (tester.Compare(w, p)) {
+        case DominanceRelation::kFirstDominates:
+          dominated = true;
+          break;
+        case DominanceRelation::kSecondDominates:
+          // w is evicted: do not copy it to the kept prefix.
+          continue;
+        case DominanceRelation::kEqual:
+        case DominanceRelation::kIncomparable:
+          break;
+      }
+      if (dominated) {
+        // p is dead; the remaining window suffix is untouched, so shift
+        // it down over any eviction gap and stop.
+        for (std::size_t j = i; j < window.size(); ++j) {
+          window[keep++] = window[j];
+        }
+        break;
+      }
+      window[keep++] = w;
+    }
+    window.resize(keep);
+    if (!dominated) {
+      window.push_back(p);
+    }
+  }
+  return window;
+}
+
+std::vector<PointId> Bnl::Compute(const Dataset& data,
+                                  SkylineStats* stats) const {
+  DominanceTester tester(data);
+  std::vector<PointId> ids(data.num_points());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  std::vector<PointId> result = ComputeSubset(tester, ids);
+  if (stats != nullptr) {
+    *stats = SkylineStats{};
+    stats->dominance_tests = tester.tests();
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

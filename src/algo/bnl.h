@@ -1,0 +1,33 @@
+// BNL — Block Nested Loop skyline (Börzsönyi, Kossmann, Stocker,
+// ICDE 2001). The baseline pairwise-comparison algorithm: maintains a
+// window of candidate skyline points and streams the input through it.
+#ifndef SKYLINE_ALGO_BNL_H_
+#define SKYLINE_ALGO_BNL_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// In-memory BNL. O(d N^2) worst case; no presorting, so the window can
+/// hold points that are later evicted by a dominator arriving behind them.
+class Bnl final : public SkylineAlgorithm {
+ public:
+  Bnl() = default;
+
+  std::string_view name() const override { return "bnl"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+  /// Core routine reusable by other algorithms (D&C leaves, BSkyTree-P
+  /// leaves): skyline of the subset `ids` of `data`, counting tests into
+  /// `tester`. Returns ids of the local skyline.
+  static std::vector<PointId> ComputeSubset(class DominanceTester& tester,
+                                            const std::vector<PointId>& ids);
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_BNL_H_

@@ -1,0 +1,48 @@
+// BSkyTree-S and BSkyTree-P (Lee & Hwang, EDBT 2010 / Information
+// Systems 2014) — the state-of-the-art baselines of the paper's
+// evaluation. Both select a balanced pivot and map points to lattice
+// vectors; -S then runs a sorted scan that skips dominance tests between
+// subset-incomparable lattice regions, while -P recursively partitions
+// into the 2^d lattice regions and merges region skylines in level order.
+#ifndef SKYLINE_ALGO_BSKYTREE_H_
+#define SKYLINE_ALGO_BSKYTREE_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// BSkyTree-S: pivot-based incomparability pruning on top of a sorted
+/// scan (the optimized sorting-based algorithm of Lee & Hwang).
+class BSkyTreeS final : public SkylineAlgorithm {
+ public:
+  BSkyTreeS() = default;
+
+  std::string_view name() const override { return "bskytree-s"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+};
+
+/// BSkyTree-P: recursive lattice-region partitioning (the optimized
+/// partitioning-based algorithm of Lee & Hwang).
+class BSkyTreeP final : public SkylineAlgorithm {
+ public:
+  explicit BSkyTreeP(const AlgorithmOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "bskytree-p"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_BSKYTREE_H_

@@ -1,0 +1,114 @@
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "src/algo/bnl.h"
+#include "src/algo/bskytree.h"
+#include "src/algo/pivot.h"
+#include "src/core/dominance.h"
+
+namespace skyline {
+
+namespace {
+
+struct Accepted {
+  Subspace mask;
+  PointId id;
+};
+
+/// Recursive lattice partitioning. Counters for lattice-mask computations
+/// and skipped tests are accumulated into *masked / *skipped.
+std::vector<PointId> SolveRegion(DominanceTester& tester,
+                                 const std::vector<PointId>& ids,
+                                 std::size_t leaf_size, std::uint64_t* masked,
+                                 std::uint64_t* skipped) {
+  const Dataset& data = tester.data();
+  const Dim d = data.num_dims();
+  if (ids.size() <= leaf_size) {
+    return Bnl::ComputeSubset(tester, ids);
+  }
+
+  const PointId pivot = SelectBalancedPivot(data, ids);
+  const Value* pivot_row = data.row(pivot);
+  const Subspace full = Subspace::Full(d);
+
+  std::vector<PointId> result;
+  result.push_back(pivot);
+
+  // Partition into the (up to) 2^d - 2 non-trivial lattice regions; the
+  // map is ordered by mask bits, re-sorted below by lattice level.
+  std::map<std::uint64_t, std::vector<PointId>> regions;
+  for (PointId p : ids) {
+    if (p == pivot) continue;
+    const Value* row = data.row(p);
+    Subspace mask = LatticeMask(row, pivot_row, d);
+    ++*masked;
+    if (mask == full) {
+      if (DominatesOrEqual(row, pivot_row, d)) result.push_back(p);  // dup
+      continue;
+    }
+    assert(!mask.empty());
+    regions[mask.bits()].push_back(p);
+  }
+
+  // Merge region skylines in lattice-level order: a dominator can only
+  // live in a region whose mask is a (proper) subset, which has a strictly
+  // smaller level and was therefore merged earlier.
+  std::vector<std::uint64_t> order;
+  order.reserve(regions.size());
+  for (const auto& [bits, _] : regions) order.push_back(bits);
+  std::sort(order.begin(), order.end(), [](std::uint64_t a, std::uint64_t b) {
+    const int la = std::popcount(a), lb = std::popcount(b);
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+
+  std::vector<Accepted> accepted;
+  for (std::uint64_t bits : order) {
+    const Subspace mask(bits);
+    std::vector<PointId> local =
+        SolveRegion(tester, regions[bits], leaf_size, masked, skipped);
+    for (PointId p : local) {
+      bool dominated = false;
+      for (const Accepted& s : accepted) {
+        if (!s.mask.IsProperSubsetOf(mask)) {
+          ++*skipped;
+          continue;
+        }
+        if (tester.Dominates(s.id, p)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) accepted.push_back({mask, p});
+    }
+  }
+  for (const Accepted& a : accepted) result.push_back(a.id);
+  return result;
+}
+
+}  // namespace
+
+std::vector<PointId> BSkyTreeP::Compute(const Dataset& data,
+                                        SkylineStats* stats) const {
+  const std::size_t n = data.num_points();
+  if (stats != nullptr) *stats = SkylineStats{};
+  if (n == 0) return {};
+
+  DominanceTester tester(data);
+  std::vector<PointId> ids(n);
+  for (PointId i = 0; i < n; ++i) ids[i] = i;
+  std::uint64_t masked = 0;
+  std::uint64_t skipped = 0;
+  std::vector<PointId> result =
+      SolveRegion(tester, ids, std::max<std::size_t>(1, options_.partition_leaf_size),
+                  &masked, &skipped);
+  if (stats != nullptr) {
+    stats->dominance_tests = tester.tests() + masked;
+    stats->tests_skipped = skipped;
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

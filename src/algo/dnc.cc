@@ -1,0 +1,109 @@
+#include "src/algo/dnc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/algo/bnl.h"
+#include "src/core/dominance.h"
+
+namespace skyline {
+
+namespace {
+
+std::vector<PointId> Solve(DominanceTester& tester, std::vector<PointId> ids,
+                           Dim split_dim, std::size_t leaf_size) {
+  const Dataset& data = tester.data();
+  const Dim d = data.num_dims();
+  if (ids.size() <= leaf_size) {
+    return Bnl::ComputeSubset(tester, ids);
+  }
+
+  // Median split on split_dim. If the dimension is constant over this
+  // region, try the other dimensions; a region constant in every
+  // dimension is a block of duplicates.
+  Dim dim = split_dim;
+  std::size_t mid = ids.size() / 2;
+  bool split_ok = false;
+  for (Dim tried = 0; tried < d; ++tried) {
+    std::nth_element(ids.begin(), ids.begin() + mid, ids.end(),
+                     [&](PointId a, PointId b) {
+                       Value va = data.at(a, dim), vb = data.at(b, dim);
+                       if (va != vb) return va < vb;
+                       return a < b;
+                     });
+    // nth_element with the (value, id) order always separates as long as
+    // the region is not a single repeated point.
+    PointId pivot = ids[mid];
+    bool all_equal_rows = true;
+    for (PointId p : ids) {
+      if (data.at(p, dim) != data.at(pivot, dim)) {
+        all_equal_rows = false;
+        break;
+      }
+    }
+    if (!all_equal_rows) {
+      split_ok = true;
+      break;
+    }
+    dim = (dim + 1) % d;
+  }
+  if (!split_ok) {
+    // All points share every coordinate: all duplicates, all skyline.
+    return ids;
+  }
+
+  std::vector<PointId> low(ids.begin(), ids.begin() + mid);
+  std::vector<PointId> high(ids.begin() + mid, ids.end());
+  const Dim next = (dim + 1) % d;
+  std::vector<PointId> sky_low = Solve(tester, std::move(low), next, leaf_size);
+  std::vector<PointId> sky_high = Solve(tester, std::move(high), next, leaf_size);
+
+  // Merge: the low half cannot be dominated by the high half in the split
+  // order only if values differ strictly; with the (value, id) ordering a
+  // high point can still dominate a low one through equal coordinates, so
+  // we filter conservatively in both directions for correctness with
+  // duplicated values. The dominant cost remains filtering high vs low.
+  std::vector<PointId> result;
+  result.reserve(sky_low.size() + sky_high.size());
+  for (PointId p : sky_low) {
+    bool dominated = false;
+    for (PointId q : sky_high) {
+      if (tester.Dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(p);
+  }
+  for (PointId p : sky_high) {
+    bool dominated = false;
+    for (PointId q : sky_low) {
+      if (tester.Dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<PointId> DivideAndConquer::Compute(const Dataset& data,
+                                               SkylineStats* stats) const {
+  DominanceTester tester(data);
+  std::vector<PointId> ids(data.num_points());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  std::vector<PointId> result =
+      Solve(tester, std::move(ids), 0,
+            std::max<std::size_t>(1, options_.partition_leaf_size));
+  if (stats != nullptr) {
+    *stats = SkylineStats{};
+    stats->dominance_tests = tester.tests();
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

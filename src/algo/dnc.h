@@ -1,0 +1,35 @@
+// D&C — divide-and-conquer skyline (Börzsönyi et al., ICDE 2001, after
+// Kung, Luccio, Preparata 1975). Splits the data at the median of a
+// rotating dimension, solves both halves recursively, then removes from
+// the "worse" half everything dominated by the "better" half's skyline.
+//
+// This is the basic variant (quadratic merge), the form used as the
+// classic baseline in the skyline literature; the O(N log^(d-2) N)
+// multidimensional-merge refinement is not reproduced (see DESIGN.md).
+#ifndef SKYLINE_ALGO_DNC_H_
+#define SKYLINE_ALGO_DNC_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// In-memory divide-and-conquer skyline with BNL leaves.
+class DivideAndConquer final : public SkylineAlgorithm {
+ public:
+  explicit DivideAndConquer(const AlgorithmOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "dnc"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_DNC_H_

@@ -1,0 +1,31 @@
+// Index — progressive skyline via per-dimension minimum lists (Tan, Eng,
+// Ooi, VLDB 2001). Every point is filed under the dimension of its
+// minimum value; the d lists are kept sorted by that value (the original
+// uses a B+-tree per list; in-memory sorted arrays are the equivalent
+// access structure). Processing pops the globally smallest head across
+// lists — an ascending (minC, sum) order — outputs non-dominated points
+// progressively, and terminates once no unprocessed point can escape
+// domination by an already-found skyline point.
+#ifndef SKYLINE_ALGO_INDEX_H_
+#define SKYLINE_ALGO_INDEX_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// In-memory Index with early termination.
+class IndexSkyline final : public SkylineAlgorithm {
+ public:
+  IndexSkyline() = default;
+
+  std::string_view name() const override { return "index"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_INDEX_H_

@@ -1,0 +1,48 @@
+#include "src/algo/pivot.h"
+
+#include <cassert>
+#include <limits>
+
+namespace skyline {
+
+PointId SelectBalancedPivot(const Dataset& data,
+                            const std::vector<PointId>& ids) {
+  assert(!ids.empty());
+  const Dim d = data.num_dims();
+
+  // Region bounds for range normalization.
+  std::vector<Value> lo(d, std::numeric_limits<Value>::infinity());
+  std::vector<Value> hi(d, -std::numeric_limits<Value>::infinity());
+  for (PointId p : ids) {
+    const Value* row = data.row(p);
+    for (Dim i = 0; i < d; ++i) {
+      if (row[i] < lo[i]) lo[i] = row[i];
+      if (row[i] > hi[i]) hi[i] = row[i];
+    }
+  }
+  std::vector<Value> inv_range(d);
+  for (Dim i = 0; i < d; ++i) {
+    const Value range = hi[i] - lo[i];
+    inv_range[i] = range > 0 ? Value{1} / range : Value{0};
+  }
+
+  // Minimizing the normalized sum is strictly monotone under dominance
+  // (any strictly-better coordinate lies in a non-constant dimension), so
+  // the argmin is a skyline point of the region.
+  PointId best = ids.front();
+  Value best_score = std::numeric_limits<Value>::infinity();
+  for (PointId p : ids) {
+    const Value* row = data.row(p);
+    Value score = 0;
+    for (Dim i = 0; i < d; ++i) {
+      score += (row[i] - lo[i]) * inv_range[i];
+    }
+    if (score < best_score || (score == best_score && p < best)) {
+      best = p;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace skyline

@@ -1,0 +1,40 @@
+// Pivot selection and lattice mapping shared by BSkyTree-S and
+// BSkyTree-P (Lee & Hwang, EDBT 2010 / Inf. Syst. 2014).
+//
+// The pivot is a skyline point of the region; every other point is mapped
+// to the lattice vector B(p) = { i : pivot[i] <= p[i] }. Two properties
+// drive both algorithms: (1) B(p) = D (full) means the pivot weakly
+// dominates p, and (2) q < p implies B(q) ⊆ B(p), so points whose masks
+// are subset-incomparable need no dominance test.
+#ifndef SKYLINE_ALGO_PIVOT_H_
+#define SKYLINE_ALGO_PIVOT_H_
+
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/dominance.h"
+#include "src/core/subspace.h"
+
+namespace skyline {
+
+/// Lattice vector of p with respect to the pivot: bit i set iff
+/// pivot[i] <= p[i]. Costs one O(d) row scan, i.e. one dominance test.
+inline Subspace LatticeMask(const Value* p, const Value* pivot, Dim d) {
+  Subspace s;
+  for (Dim i = 0; i < d; ++i) {
+    if (pivot[i] <= p[i]) s.Add(i);
+  }
+  return s;
+}
+
+/// Selects a pivot for the region `ids`: the point minimizing the
+/// range-normalized coordinate sum. This is always a skyline point of the
+/// region and tends to sit centrally with a large dominated volume — a
+/// simplification of the original balanced pivot-volume heuristic
+/// (see DESIGN.md). `ids` must be non-empty.
+PointId SelectBalancedPivot(const Dataset& data,
+                            const std::vector<PointId>& ids);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_PIVOT_H_

@@ -1,0 +1,51 @@
+#include "src/algo/registry.h"
+
+#include "src/algo/bbs.h"
+#include "src/algo/bnl.h"
+#include "src/algo/bskytree.h"
+#include "src/algo/dnc.h"
+#include "src/algo/index.h"
+#include "src/algo/less.h"
+#include "src/algo/salsa.h"
+#include "src/algo/sdi.h"
+#include "src/algo/sfs.h"
+#include "src/parallel/parallel_skyline.h"
+#include "src/subset/boosted.h"
+
+namespace skyline {
+
+std::unique_ptr<SkylineAlgorithm> MakeAlgorithm(
+    std::string_view name, const AlgorithmOptions& options) {
+  if (name == "bnl") return std::make_unique<Bnl>();
+  if (name == "sfs") return std::make_unique<Sfs>(options);
+  if (name == "less") return std::make_unique<Less>(options);
+  if (name == "salsa") return std::make_unique<Salsa>();
+  if (name == "sdi") return std::make_unique<Sdi>();
+  if (name == "dnc") return std::make_unique<DivideAndConquer>(options);
+  if (name == "index") return std::make_unique<IndexSkyline>();
+  if (name == "bbs") return std::make_unique<Bbs>(options);
+  if (name == "bskytree-s") return std::make_unique<BSkyTreeS>();
+  if (name == "bskytree-p") return std::make_unique<BSkyTreeP>(options);
+  if (name == "sfs-subset") return std::make_unique<SfsSubset>(options);
+  if (name == "salsa-subset") return std::make_unique<SalsaSubset>(options);
+  if (name == "sdi-subset") return std::make_unique<SdiSubset>(options);
+  if (name == "parallel-sfs") {
+    return std::make_unique<ParallelSfs>(0, options);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AlgorithmNames() {
+  return {"bnl",        "sfs",          "less",         "salsa",
+          "sdi",        "index",        "dnc",          "bbs",
+          "bskytree-s", "bskytree-p",   "sfs-subset",   "salsa-subset",
+          "sdi-subset", "parallel-sfs"};
+}
+
+std::vector<std::pair<std::string, std::string>> BoostedPairs() {
+  return {{"sfs", "sfs-subset"},
+          {"salsa", "salsa-subset"},
+          {"sdi", "sdi-subset"}};
+}
+
+}  // namespace skyline

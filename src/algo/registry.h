@@ -1,0 +1,31 @@
+// String-keyed factory over all skyline algorithms in the library, used
+// by the benchmark harness, the examples and the tests.
+#ifndef SKYLINE_ALGO_REGISTRY_H_
+#define SKYLINE_ALGO_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// Creates the algorithm registered under `name`, or nullptr if unknown.
+/// Known names: bnl, sfs, less, salsa, sdi, dnc, bskytree-s, bskytree-p,
+/// sfs-subset, salsa-subset, sdi-subset.
+std::unique_ptr<SkylineAlgorithm> MakeAlgorithm(
+    std::string_view name, const AlgorithmOptions& options = {});
+
+/// All registered algorithm names, in a stable presentation order
+/// (sorting-based, then partitioning-based, then boosted).
+std::vector<std::string> AlgorithmNames();
+
+/// The algorithm/baseline pairs of the paper's evaluation tables:
+/// {sfs, sfs-subset}, {salsa, salsa-subset}, {sdi, sdi-subset}.
+std::vector<std::pair<std::string, std::string>> BoostedPairs();
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_REGISTRY_H_

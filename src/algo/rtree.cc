@@ -1,0 +1,95 @@
+#include "src/algo/rtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace skyline {
+
+namespace {
+
+RTree::Mbr ComputeMbr(const Dataset& data, const std::vector<PointId>& ids) {
+  const Dim d = data.num_dims();
+  RTree::Mbr mbr;
+  mbr.lo.assign(d, std::numeric_limits<Value>::infinity());
+  mbr.hi.assign(d, -std::numeric_limits<Value>::infinity());
+  for (PointId p : ids) {
+    const Value* row = data.row(p);
+    for (Dim i = 0; i < d; ++i) {
+      mbr.lo[i] = std::min(mbr.lo[i], row[i]);
+      mbr.hi[i] = std::max(mbr.hi[i], row[i]);
+    }
+  }
+  return mbr;
+}
+
+RTree::Mbr MergeMbr(const RTree::Mbr& a, const RTree::Mbr& b) {
+  RTree::Mbr out = a;
+  for (std::size_t i = 0; i < out.lo.size(); ++i) {
+    out.lo[i] = std::min(out.lo[i], b.lo[i]);
+    out.hi[i] = std::max(out.hi[i], b.hi[i]);
+  }
+  return out;
+}
+
+struct BuildContext {
+  const Dataset& data;
+  std::size_t leaf_capacity;
+  std::size_t fanout;
+  std::size_t nodes = 0;
+  std::size_t height = 0;
+};
+
+std::unique_ptr<RTree::Node> Build(BuildContext& ctx,
+                                   std::vector<PointId> ids, Dim split_dim,
+                                   std::size_t depth) {
+  auto node = std::make_unique<RTree::Node>();
+  ++ctx.nodes;
+  ctx.height = std::max(ctx.height, depth + 1);
+  if (ids.size() <= ctx.leaf_capacity) {
+    node->mbr = ComputeMbr(ctx.data, ids);
+    node->points = std::move(ids);
+    return node;
+  }
+  // Tile: sort along the current dimension, cut into `fanout` runs.
+  const Dim d = ctx.data.num_dims();
+  std::sort(ids.begin(), ids.end(), [&](PointId a, PointId b) {
+    const Value va = ctx.data.at(a, split_dim);
+    const Value vb = ctx.data.at(b, split_dim);
+    if (va != vb) return va < vb;
+    return a < b;
+  });
+  const std::size_t chunks = std::min(ctx.fanout, ids.size());
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = ids.size() * c / chunks;
+    const std::size_t hi = ids.size() * (c + 1) / chunks;
+    if (lo == hi) continue;
+    node->children.push_back(
+        Build(ctx, std::vector<PointId>(ids.begin() + lo, ids.begin() + hi),
+              (split_dim + 1) % d, depth + 1));
+  }
+  node->mbr = node->children.front()->mbr;
+  for (std::size_t c = 1; c < node->children.size(); ++c) {
+    node->mbr = MergeMbr(node->mbr, node->children[c]->mbr);
+  }
+  return node;
+}
+
+}  // namespace
+
+RTree RTree::BulkLoad(const Dataset& data, std::size_t leaf_capacity,
+                      std::size_t fanout) {
+  RTree tree;
+  tree.num_dims_ = data.num_dims();
+  if (data.num_points() == 0) return tree;
+  BuildContext ctx{data, std::max<std::size_t>(1, leaf_capacity),
+                   std::max<std::size_t>(2, fanout)};
+  std::vector<PointId> ids(data.num_points());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  tree.root_ = Build(ctx, std::move(ids), 0, 0);
+  tree.num_nodes_ = ctx.nodes;
+  tree.height_ = ctx.height;
+  return tree;
+}
+
+}  // namespace skyline

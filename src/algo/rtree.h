@@ -1,0 +1,58 @@
+// A minimal in-memory R-tree, bulk-loaded with a Sort-Tile-Recursive
+// style packing. Built as the substrate for the BBS skyline algorithm
+// (Papadias et al., SIGMOD 2003), which needs hierarchical minimum
+// bounding rectangles with cheap lower-corner access.
+#ifndef SKYLINE_ALGO_RTREE_H_
+#define SKYLINE_ALGO_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace skyline {
+
+/// A packed R-tree over the points of a Dataset. Immutable after bulk
+/// load; nodes own their children, leaves hold point ids.
+class RTree {
+ public:
+  /// Minimum bounding rectangle: per-dimension [lo, hi].
+  struct Mbr {
+    std::vector<Value> lo;
+    std::vector<Value> hi;
+  };
+
+  struct Node {
+    Mbr mbr;
+    std::vector<PointId> points;                  // non-empty iff leaf
+    std::vector<std::unique_ptr<Node>> children;  // non-empty iff inner
+    bool IsLeaf() const { return children.empty(); }
+  };
+
+  /// Packs `data` into a tree with at most `leaf_capacity` points per
+  /// leaf and `fanout` children per inner node, tiling dimensions round
+  /// robin. Returns an empty tree (null root) for an empty dataset.
+  static RTree BulkLoad(const Dataset& data, std::size_t leaf_capacity = 32,
+                        std::size_t fanout = 8);
+
+  /// Root node; nullptr iff the dataset was empty.
+  const Node* root() const { return root_.get(); }
+
+  Dim num_dims() const { return num_dims_; }
+
+  /// Total node count (inner + leaf).
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Height of the tree (leaf = 1); 0 when empty.
+  std::size_t height() const { return height_; }
+
+ private:
+  std::unique_ptr<Node> root_;
+  Dim num_dims_ = 0;
+  std::size_t num_nodes_ = 0;
+  std::size_t height_ = 0;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_RTREE_H_

@@ -1,0 +1,54 @@
+#include "src/algo/salsa.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+
+namespace skyline {
+
+std::vector<PointId> Salsa::Compute(const Dataset& data,
+                                    SkylineStats* stats) const {
+  DominanceTester tester(data);
+  const Dim d = data.num_dims();
+  std::vector<PointId> order = SortedByScore(data, ScoreFunction::kMinCoordinate);
+
+  // stop_value = min over accepted skyline points s of max_i s[i]. If the
+  // current point's minimum coordinate is strictly greater, the stop point
+  // is strictly better in *every* dimension of every remaining point
+  // (remaining points have even larger minima), so the scan can end.
+  Value stop_value = std::numeric_limits<Value>::infinity();
+
+  std::vector<PointId> result;
+  for (PointId p : order) {
+    const Value* row = data.row(p);
+    Value min_coord = row[0];
+    Value max_coord = row[0];
+    for (Dim i = 1; i < d; ++i) {
+      min_coord = std::min(min_coord, row[i]);
+      max_coord = std::max(max_coord, row[i]);
+    }
+    if (min_coord > stop_value) break;
+
+    bool dominated = false;
+    for (PointId s : result) {
+      if (tester.Dominates(s, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      result.push_back(p);
+      stop_value = std::min(stop_value, max_coord);
+    }
+  }
+  if (stats != nullptr) {
+    *stats = SkylineStats{};
+    stats->dominance_tests = tester.tests();
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

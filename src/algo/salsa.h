@@ -1,0 +1,30 @@
+// SaLSa — Sort and Limit Skyline algorithm (Bartolini, Ciaccia, Patella,
+// CIKM 2006 / TODS 2008). Sorts by the minC function (minimum coordinate,
+// sum as tie-break) and maintains a *stop point*: the skyline point whose
+// maximum coordinate is smallest. Once the scan reaches points whose
+// minimum coordinate exceeds that value, every remaining point is
+// dominated by the stop point and the scan terminates without reading the
+// whole sky.
+#ifndef SKYLINE_ALGO_SALSA_H_
+#define SKYLINE_ALGO_SALSA_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// In-memory SaLSa with minC sorting and early termination.
+class Salsa final : public SkylineAlgorithm {
+ public:
+  Salsa() = default;
+
+  std::string_view name() const override { return "salsa"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_SALSA_H_

@@ -1,0 +1,143 @@
+#include "src/algo/sdi.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+
+namespace skyline {
+
+namespace {
+
+enum class Status : unsigned char { kUnknown, kSkyline, kDominated };
+
+}  // namespace
+
+std::vector<PointId> Sdi::Compute(const Dataset& data,
+                                  SkylineStats* stats) const {
+  const std::size_t n = data.num_points();
+  const Dim d = data.num_dims();
+  if (stats != nullptr) *stats = SkylineStats{};
+  if (n == 0) return {};
+
+  DominanceTester tester(data);
+
+  // ---- Sort phase: one index of all point ids per dimension. ----
+  std::vector<std::vector<PointId>> index(d);
+  for (Dim k = 0; k < d; ++k) {
+    index[k].resize(n);
+    std::iota(index[k].begin(), index[k].end(), PointId{0});
+    std::sort(index[k].begin(), index[k].end(), [&](PointId a, PointId b) {
+      Value va = data.at(a, k), vb = data.at(b, k);
+      if (va != vb) return va < vb;
+      return a < b;
+    });
+  }
+
+  // Stop point: minimal Euclidean distance to the origin. Any unresolved
+  // point strictly beyond its value in *every* dimension is dominated by
+  // it, whatever its own status.
+  const PointId stop_point = ArgMinScore(data, ScoreFunction::kEuclidean);
+  const Value* stop_row = data.row(stop_point);
+
+  std::vector<Status> status(n, Status::kUnknown);
+  std::vector<std::size_t> cursor(d, 0);
+  // Dimension skyline: skyline points already passed by this dimension's
+  // cursor, i.e. with a dim-k value <= any point still ahead of the cursor.
+  std::vector<std::vector<PointId>> dim_skyline(d);
+  std::vector<bool> done(d, false);
+  Dim dims_done = 0;
+  std::size_t resolved = 0;
+  std::vector<PointId> result;
+
+  // Advances dim k past already-resolved points, registering passed
+  // skyline points into the dimension skyline. Marks the dimension done
+  // when its cursor ran out or passed the stop point's value.
+  auto fast_forward = [&](Dim k) {
+    auto& ids = index[k];
+    std::size_t& c = cursor[k];
+    while (c < n && status[ids[c]] != Status::kUnknown) {
+      if (status[ids[c]] == Status::kSkyline) dim_skyline[k].push_back(ids[c]);
+      ++c;
+    }
+    if (!done[k] && (c == n || data.at(ids[c], k) > stop_row[k])) {
+      done[k] = true;
+      ++dims_done;
+    }
+  };
+
+  // Resolves the unresolved point under dim k's cursor. Returns true if it
+  // became a skyline point.
+  auto resolve_at_cursor = [&](Dim k) {
+    auto& ids = index[k];
+    const std::size_t c = cursor[k];
+    const PointId p = ids[c];
+    bool dominated = false;
+    // Dominators of p have a dim-k value <= p's. Those with a strictly
+    // smaller value were already passed (hence resolved) and, if skyline,
+    // registered in the dimension skyline.
+    for (PointId s : dim_skyline[k]) {
+      if (tester.Dominates(s, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      // Duplicate dimension values: a dominator may share p's dim-k value
+      // and sit anywhere inside the tie block, resolved or not — test the
+      // block locally, SFS-style.
+      const Value v = data.at(p, k);
+      for (std::size_t j = c + 1; j < n && data.at(ids[j], k) == v; ++j) {
+        if (tester.Dominates(ids[j], p)) {
+          dominated = true;
+          break;
+        }
+      }
+    }
+    status[p] = dominated ? Status::kDominated : Status::kSkyline;
+    ++resolved;
+    if (!dominated) result.push_back(p);
+    return !dominated;
+  };
+
+  // ---- Scan phase: breadth-first traversal among dimensions. ----
+  Dim k = 0;
+  for (Dim j = 0; j < d; ++j) fast_forward(j);
+  while (dims_done < d && resolved < n) {
+    // Points under this cursor may have been resolved from another
+    // dimension since this dimension was last visited.
+    fast_forward(k);
+    if (done[k]) {
+      // Move to the next dimension that still has work below its stop
+      // frontier.
+      k = (k + 1) % d;
+      continue;
+    }
+    const bool new_skyline = resolve_at_cursor(k);
+    fast_forward(k);
+    if (new_skyline) {
+      // Switch to the dimension possessing the least number of skyline
+      // points (the breadth-first balancing rule of SDI).
+      Dim best = k;
+      std::size_t best_size = static_cast<std::size_t>(-1);
+      for (Dim j = 0; j < d; ++j) {
+        if (!done[j] && dim_skyline[j].size() < best_size) {
+          best = j;
+          best_size = dim_skyline[j].size();
+        }
+      }
+      k = best;
+    }
+  }
+  // Every dimension passed the stop frontier: all still-unresolved points
+  // are strictly worse than the stop point everywhere, hence dominated.
+
+  if (stats != nullptr) {
+    stats->dominance_tests = tester.tests();
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

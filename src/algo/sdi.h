@@ -1,0 +1,33 @@
+// SDI — sort-based skyline with dimensional indexing (Liu & Li,
+// EDBT 2020). The sort phase builds one sorted index per dimension; the
+// scan phase traverses the dimensions breadth-first, resolving each point
+// in the first dimension whose cursor reaches it. A point is tested only
+// against the skyline points already passed in that dimension (the
+// "dimension skyline"), which distributes the dominance tests across
+// dimensions; duplicate dimension values are handled by SFS-like local
+// tests inside the tie block. The point with minimal Euclidean distance
+// serves as the stop point: once every dimension's cursor has passed its
+// value, all unresolved points are dominated and the scan terminates.
+#ifndef SKYLINE_ALGO_SDI_H_
+#define SKYLINE_ALGO_SDI_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// In-memory SDI with per-dimension indexes and early termination.
+class Sdi final : public SkylineAlgorithm {
+ public:
+  Sdi() = default;
+
+  std::string_view name() const override { return "sdi"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_SDI_H_

@@ -1,0 +1,32 @@
+#include "src/algo/sfs.h"
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+
+namespace skyline {
+
+std::vector<PointId> Sfs::Compute(const Dataset& data,
+                                  SkylineStats* stats) const {
+  DominanceTester tester(data);
+  std::vector<PointId> result;
+  // Monotone order: a dominator of p always precedes p, so testing p
+  // against the accepted skyline alone is complete.
+  for (PointId p : SortedByScore(data, options_.sort)) {
+    bool dominated = false;
+    for (PointId s : result) {
+      if (tester.Dominates(s, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(p);
+  }
+  if (stats != nullptr) {
+    *stats = SkylineStats{};
+    stats->dominance_tests = tester.tests();
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

@@ -1,0 +1,32 @@
+// SFS — Sort-Filter-Skyline (Chomicki, Godfrey, Gryz, Liang, ICDE 2003).
+// Presorts all points by a monotone scoring function; a scanned point can
+// then only be dominated by points already accepted into the skyline, so
+// the window never needs eviction and every accepted point is final
+// (progressive output).
+#ifndef SKYLINE_ALGO_SFS_H_
+#define SKYLINE_ALGO_SFS_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// In-memory SFS with a configurable monotone sorting function
+/// (default: sum; the original paper recommends entropy).
+class Sfs final : public SkylineAlgorithm {
+ public:
+  explicit Sfs(const AlgorithmOptions& options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "sfs"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ALGO_SFS_H_

@@ -1,0 +1,39 @@
+#include "src/core/dataset.h"
+
+#include <sstream>
+
+namespace skyline {
+
+Dataset Dataset::FromRows(
+    std::initializer_list<std::initializer_list<Value>> rows) {
+  assert(rows.size() > 0);
+  Dataset data(static_cast<Dim>(rows.begin()->size()));
+  for (const auto& r : rows) {
+    assert(r.size() == data.num_dims());
+    data.values_.insert(data.values_.end(), r.begin(), r.end());
+  }
+  return data;
+}
+
+Dataset Dataset::FromRows(const std::vector<std::vector<Value>>& rows) {
+  assert(!rows.empty());
+  Dataset data(static_cast<Dim>(rows.front().size()));
+  for (const auto& r : rows) {
+    assert(r.size() == data.num_dims());
+    data.values_.insert(data.values_.end(), r.begin(), r.end());
+  }
+  return data;
+}
+
+std::string Dataset::PointToString(PointId id) const {
+  std::ostringstream out;
+  out << "(";
+  for (Dim i = 0; i < num_dims_; ++i) {
+    if (i > 0) out << ", ";
+    out << at(id, i);
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace skyline

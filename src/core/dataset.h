@@ -1,0 +1,88 @@
+// Dataset: an immutable-after-build, row-major in-memory table of
+// d-dimensional points. All skyline algorithms in this library operate on
+// a Dataset and identify points by their row id.
+#ifndef SKYLINE_CORE_DATASET_H_
+#define SKYLINE_CORE_DATASET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace skyline {
+
+/// An N x d table of Values, row-major and contiguous.
+///
+/// The skyline convention is minimization in every dimension. Callers with
+/// maximization preferences should negate (or otherwise monotonically
+/// invert) the affected column before building the Dataset; see
+/// `examples/hotel_search.cc` for the idiom.
+class Dataset {
+ public:
+  /// Empty dataset of a fixed dimensionality.
+  explicit Dataset(Dim num_dims) : num_dims_(num_dims) {
+    assert(num_dims >= 1);
+  }
+
+  /// Builds a dataset from `num_points * num_dims` row-major values.
+  Dataset(Dim num_dims, std::vector<Value> values)
+      : num_dims_(num_dims), values_(std::move(values)) {
+    assert(num_dims >= 1);
+    assert(values_.size() % num_dims_ == 0);
+  }
+
+  /// Builds a dataset from explicit rows; all rows must have equal length.
+  static Dataset FromRows(std::initializer_list<std::initializer_list<Value>> rows);
+
+  /// Builds a dataset from a vector of rows; all rows must have equal length.
+  static Dataset FromRows(const std::vector<std::vector<Value>>& rows);
+
+  /// Appends one point; `row` must have exactly num_dims() values.
+  void Append(std::span<const Value> row) {
+    assert(row.size() == num_dims_);
+    values_.insert(values_.end(), row.begin(), row.end());
+  }
+
+  /// Number of points N (the paper's "cardinality").
+  std::size_t num_points() const { return values_.size() / num_dims_; }
+
+  /// Number of dimensions d (the paper's "dimensionality").
+  Dim num_dims() const { return num_dims_; }
+
+  bool empty() const { return values_.empty(); }
+
+  /// Pointer to the row of point `id`; valid for num_dims() values.
+  const Value* row(PointId id) const {
+    assert(id < num_points());
+    return values_.data() + static_cast<std::size_t>(id) * num_dims_;
+  }
+
+  /// Value of point `id` in dimension `dim`.
+  Value at(PointId id, Dim dim) const {
+    assert(dim < num_dims_);
+    return row(id)[dim];
+  }
+
+  /// The row of point `id` as a span.
+  std::span<const Value> point(PointId id) const {
+    return {row(id), num_dims_};
+  }
+
+  /// Raw row-major storage.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Human-readable rendering of one point, like "(0.25, 1, 3.5)".
+  std::string PointToString(PointId id) const;
+
+ private:
+  Dim num_dims_;
+  std::vector<Value> values_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_DATASET_H_

@@ -1,0 +1,19 @@
+#include "src/core/dominance.h"
+
+namespace skyline {
+
+const char* ToString(DominanceRelation r) {
+  switch (r) {
+    case DominanceRelation::kFirstDominates:
+      return "first-dominates";
+    case DominanceRelation::kSecondDominates:
+      return "second-dominates";
+    case DominanceRelation::kEqual:
+      return "equal";
+    case DominanceRelation::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+}  // namespace skyline

@@ -1,0 +1,71 @@
+// Instrumentation collected by every skyline algorithm run.
+#ifndef SKYLINE_CORE_STATS_H_
+#define SKYLINE_CORE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace skyline {
+
+/// Counters filled in by SkylineAlgorithm::Compute.
+///
+/// The headline metric of the paper's evaluation is the *mean dominance
+/// test number* (Section 6): total dominance tests divided by the dataset
+/// cardinality N. Every pairwise point comparison — a dominance test, a
+/// dominating-subspace computation in the Merge pass, or a lattice-vector
+/// computation against a BSkyTree pivot — increments `dominance_tests`,
+/// since each costs one O(d) row scan.
+struct SkylineStats {
+  /// Total number of O(d) pairwise comparisons performed.
+  std::uint64_t dominance_tests = 0;
+
+  /// Number of candidate retrievals answered by the SubsetIndex
+  /// (boosted algorithms only).
+  std::uint64_t index_queries = 0;
+
+  /// Total number of prefix-tree nodes visited while answering queries
+  /// (boosted algorithms only).
+  std::uint64_t index_nodes_visited = 0;
+
+  /// Total number of candidate skyline points returned by index queries
+  /// (boosted algorithms only). Comparing this with `dominance_tests` of
+  /// the unboosted algorithm shows the pruning power of Lemma 5.1.
+  std::uint64_t index_candidates = 0;
+
+  /// Number of pivot points selected by the Merge pass (boosted only).
+  std::uint64_t pivot_count = 0;
+
+  /// Points pruned (found dominated) during the Merge pass (boosted only).
+  std::uint64_t merge_pruned = 0;
+
+  /// Dominance tests skipped thanks to region incomparability
+  /// (BSkyTree) or index partitioning (boosted algorithms), when the
+  /// algorithm can cheaply account for them.
+  std::uint64_t tests_skipped = 0;
+
+  /// Size of the computed skyline.
+  std::size_t skyline_size = 0;
+
+  /// Mean dominance test number: dominance_tests / N.
+  double MeanDominanceTests(std::size_t num_points) const {
+    return num_points == 0
+               ? 0.0
+               : static_cast<double>(dominance_tests) /
+                     static_cast<double>(num_points);
+  }
+
+  /// Merges counters from a sub-phase into this object.
+  void Accumulate(const SkylineStats& other) {
+    dominance_tests += other.dominance_tests;
+    index_queries += other.index_queries;
+    index_nodes_visited += other.index_nodes_visited;
+    index_candidates += other.index_candidates;
+    pivot_count += other.pivot_count;
+    merge_pruned += other.merge_pruned;
+    tests_skipped += other.tests_skipped;
+  }
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_STATS_H_

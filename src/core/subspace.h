@@ -1,0 +1,166 @@
+// Subspace: a subset of the d dimensions of a dataset, stored as a bitmask.
+//
+// Definition 3.3 of the paper: given a d-dimensional dataset, the space is
+// D = {1,...,d} and any subset D' of D is a subspace. Subspaces are the
+// central currency of the subset approach: the Merge pass (Algorithm 1)
+// assigns every non-pruned point a "maximum dominating subspace", and the
+// SubsetIndex partitions skyline points by the *reversed* (complemented)
+// subspace.
+#ifndef SKYLINE_CORE_SUBSPACE_H_
+#define SKYLINE_CORE_SUBSPACE_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "src/core/types.h"
+
+namespace skyline {
+
+/// A subset of dimensions {0, ..., d-1}, d <= 64, as a bitmask.
+///
+/// Bit i set means dimension i is a member. All set operations are O(1).
+/// The class is a trivially copyable value type.
+class Subspace {
+ public:
+  /// Maximum dimensionality representable.
+  static constexpr Dim kMaxDims = 64;
+
+  /// The empty subspace.
+  constexpr Subspace() : bits_(0) {}
+
+  /// Subspace from a raw bitmask.
+  constexpr explicit Subspace(std::uint64_t bits) : bits_(bits) {}
+
+  /// Subspace containing exactly the listed dimensions.
+  constexpr Subspace(std::initializer_list<Dim> dims) : bits_(0) {
+    for (Dim d : dims) bits_ |= (std::uint64_t{1} << d);
+  }
+
+  /// The full space D = {0, ..., num_dims-1}.
+  static constexpr Subspace Full(Dim num_dims) {
+    assert(num_dims <= kMaxDims);
+    if (num_dims == kMaxDims) return Subspace(~std::uint64_t{0});
+    return Subspace((std::uint64_t{1} << num_dims) - 1);
+  }
+
+  /// The subspace containing the single dimension `dim`.
+  static constexpr Subspace Single(Dim dim) {
+    assert(dim < kMaxDims);
+    return Subspace(std::uint64_t{1} << dim);
+  }
+
+  constexpr std::uint64_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+
+  /// Number of member dimensions (the "subspace size" of Figures 2 and 6).
+  constexpr Dim size() const {
+    return static_cast<Dim>(std::popcount(bits_));
+  }
+
+  constexpr bool Contains(Dim dim) const {
+    return (bits_ >> dim) & std::uint64_t{1};
+  }
+
+  constexpr void Add(Dim dim) { bits_ |= (std::uint64_t{1} << dim); }
+  constexpr void Remove(Dim dim) { bits_ &= ~(std::uint64_t{1} << dim); }
+
+  /// True if every member of this subspace is a member of `other`.
+  constexpr bool IsSubsetOf(Subspace other) const {
+    return (bits_ & other.bits_) == bits_;
+  }
+
+  /// True if every member of `other` is a member of this subspace.
+  constexpr bool IsSupersetOf(Subspace other) const {
+    return other.IsSubsetOf(*this);
+  }
+
+  /// True if this is a *proper* subset of `other`.
+  constexpr bool IsProperSubsetOf(Subspace other) const {
+    return IsSubsetOf(other) && bits_ != other.bits_;
+  }
+
+  /// The reversed subspace D^¬ with respect to the full space of
+  /// `num_dims` dimensions (Section 5 of the paper).
+  constexpr Subspace Complement(Dim num_dims) const {
+    return Subspace(~bits_ & Full(num_dims).bits_);
+  }
+
+  constexpr Subspace Union(Subspace other) const {
+    return Subspace(bits_ | other.bits_);
+  }
+
+  constexpr Subspace Intersection(Subspace other) const {
+    return Subspace(bits_ & other.bits_);
+  }
+
+  constexpr Subspace Difference(Subspace other) const {
+    return Subspace(bits_ & ~other.bits_);
+  }
+
+  constexpr Subspace& operator|=(Subspace other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+
+  constexpr Subspace& operator&=(Subspace other) {
+    bits_ &= other.bits_;
+    return *this;
+  }
+
+  friend constexpr Subspace operator|(Subspace a, Subspace b) {
+    return a.Union(b);
+  }
+  friend constexpr Subspace operator&(Subspace a, Subspace b) {
+    return a.Intersection(b);
+  }
+  friend constexpr bool operator==(Subspace a, Subspace b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(Subspace a, Subspace b) {
+    return a.bits_ != b.bits_;
+  }
+  /// Arbitrary but stable total order (by bitmask value), handy for maps.
+  friend constexpr bool operator<(Subspace a, Subspace b) {
+    return a.bits_ < b.bits_;
+  }
+
+  /// Smallest member dimension; undefined on the empty subspace.
+  constexpr Dim Lowest() const {
+    assert(!empty());
+    return static_cast<Dim>(std::countr_zero(bits_));
+  }
+
+  /// Calls `fn(dim)` for every member dimension, in increasing order.
+  template <typename Fn>
+  void ForEachDim(Fn&& fn) const {
+    std::uint64_t rest = bits_;
+    while (rest != 0) {
+      Dim d = static_cast<Dim>(std::countr_zero(rest));
+      fn(d);
+      rest &= rest - 1;
+    }
+  }
+
+  /// Human-readable rendering like "{0,3,5}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    ForEachDim([&](Dim d) {
+      if (!first) out += ",";
+      out += std::to_string(d);
+      first = false;
+    });
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::uint64_t bits_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SUBSPACE_H_

@@ -1,0 +1,27 @@
+// Basic scalar types shared by the whole library.
+#ifndef SKYLINE_CORE_TYPES_H_
+#define SKYLINE_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace skyline {
+
+/// Identifier of a point inside a Dataset: its row number in [0, N).
+using PointId = std::uint32_t;
+
+/// Index of a dimension in [0, d). The paper writes dimensions 1..d; the
+/// implementation is zero-based throughout.
+using Dim = std::uint32_t;
+
+/// Value of a point in one dimension. The skyline convention in this
+/// library is *minimization* in every dimension (smaller is better),
+/// matching Definition 3.1 of the paper.
+using Value = double;
+
+/// Invalid point id sentinel.
+inline constexpr PointId kInvalidPoint = static_cast<PointId>(-1);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_TYPES_H_

@@ -1,0 +1,33 @@
+#include "src/core/verify.h"
+
+#include <algorithm>
+
+#include "src/core/dominance.h"
+
+namespace skyline {
+
+std::vector<PointId> ReferenceSkyline(const Dataset& data) {
+  const std::size_t n = data.num_points();
+  const Dim d = data.num_dims();
+  std::vector<PointId> result;
+  for (PointId i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (PointId j = 0; j < n && !dominated; ++j) {
+      if (i != j && Dominates(data.row(j), data.row(i), d)) dominated = true;
+    }
+    if (!dominated) result.push_back(i);
+  }
+  return result;
+}
+
+bool IsSkylineOf(const Dataset& data, std::vector<PointId> candidate) {
+  return SameIdSet(ReferenceSkyline(data), std::move(candidate));
+}
+
+bool SameIdSet(std::vector<PointId> a, std::vector<PointId> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace skyline

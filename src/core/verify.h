@@ -1,0 +1,27 @@
+// Reference skyline computation and result validation, used by tests and
+// by the benchmark harness's self-checks. Deliberately simple and
+// independent of the algorithm implementations under test.
+#ifndef SKYLINE_CORE_VERIFY_H_
+#define SKYLINE_CORE_VERIFY_H_
+
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/types.h"
+
+namespace skyline {
+
+/// O(d N^2) naive skyline: every point tested against every other.
+/// Returns ids in ascending order. This is the correctness oracle.
+std::vector<PointId> ReferenceSkyline(const Dataset& data);
+
+/// True iff `candidate` (in any order, duplicates not allowed) equals the
+/// skyline of `data` as an id set.
+bool IsSkylineOf(const Dataset& data, std::vector<PointId> candidate);
+
+/// True iff the two id lists are equal as sets.
+bool SameIdSet(std::vector<PointId> a, std::vector<PointId> b);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_VERIFY_H_

@@ -1,0 +1,95 @@
+#include "src/data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace skyline {
+
+namespace {
+
+/// Splits a CSV line on commas/semicolons/whitespace into numeric fields.
+/// Returns false if any non-empty field is not numeric.
+bool ParseLine(const std::string& line, std::vector<Value>* out) {
+  out->clear();
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    while (i < n && (line[i] == ',' || line[i] == ';' || line[i] == ' ' ||
+                     line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+    if (i >= n) break;
+    std::size_t j = i;
+    while (j < n && line[j] != ',' && line[j] != ';' && line[j] != ' ' &&
+           line[j] != '\t' && line[j] != '\r') {
+      ++j;
+    }
+    Value v{};
+    const auto [ptr, ec] =
+        std::from_chars(line.data() + i, line.data() + j, v);
+    if (ec != std::errc{} || ptr != line.data() + j) return false;
+    out->push_back(v);
+    i = j;
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteCsv(const Dataset& data, std::ostream& out) {
+  const Dim d = data.num_dims();
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    const Value* row = data.row(p);
+    for (Dim i = 0; i < d; ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+bool WriteCsvFile(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteCsv(data, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Dataset> ReadCsv(std::istream& in) {
+  std::string line;
+  std::vector<Value> fields;
+  std::vector<Value> values;
+  Dim dims = 0;
+  bool first_content_line = true;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(",;\t\r ") == std::string::npos) continue;
+    if (!ParseLine(line, &fields)) {
+      if (first_content_line) {
+        first_content_line = false;  // header line: skip
+        continue;
+      }
+      return std::nullopt;
+    }
+    if (fields.empty()) continue;
+    if (dims == 0) {
+      dims = static_cast<Dim>(fields.size());
+    } else if (fields.size() != dims) {
+      return std::nullopt;  // ragged row
+    }
+    values.insert(values.end(), fields.begin(), fields.end());
+    first_content_line = false;
+  }
+  if (dims == 0) return std::nullopt;
+  return Dataset(dims, std::move(values));
+}
+
+std::optional<Dataset> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadCsv(in);
+}
+
+}  // namespace skyline

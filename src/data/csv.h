@@ -1,0 +1,31 @@
+// Minimal CSV import/export for Datasets — enough to exchange data with
+// the usual skyline benchmark files (plain numeric rows, optional header).
+#ifndef SKYLINE_DATA_CSV_H_
+#define SKYLINE_DATA_CSV_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/core/dataset.h"
+
+namespace skyline {
+
+/// Writes `data` as comma-separated numeric rows.
+void WriteCsv(const Dataset& data, std::ostream& out);
+
+/// Writes to `path`; returns false if the file cannot be opened.
+bool WriteCsvFile(const Dataset& data, const std::string& path);
+
+/// Parses comma- (or semicolon-/whitespace-) separated numeric rows. A
+/// first line that fails numeric parsing is treated as a header and
+/// skipped; blank lines are ignored. Returns std::nullopt on malformed
+/// input (ragged rows, non-numeric fields past the header).
+std::optional<Dataset> ReadCsv(std::istream& in);
+
+/// Reads from `path`; std::nullopt if the file cannot be opened or parsed.
+std::optional<Dataset> ReadCsvFile(const std::string& path);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_DATA_CSV_H_

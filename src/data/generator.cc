@@ -1,0 +1,133 @@
+#include "src/data/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <string>
+
+#include "src/core/subspace.h"
+
+namespace skyline {
+
+namespace {
+
+/// Uniform value in [lo, hi).
+Value RandomEqual(std::mt19937_64& rng, Value lo, Value hi) {
+  return std::uniform_real_distribution<Value>(lo, hi)(rng);
+}
+
+/// Peak-shaped value in [lo, hi): mean of `k` uniforms (Irwin-Hall),
+/// the randdataset building block approximating a normal around the
+/// interval's midpoint.
+Value RandomPeak(std::mt19937_64& rng, Value lo, Value hi, int k) {
+  Value sum = 0;
+  for (int i = 0; i < k; ++i) sum += RandomEqual(rng, Value{0}, Value{1});
+  return lo + (hi - lo) * (sum / static_cast<Value>(k));
+}
+
+Value Clamp01(Value v) { return std::clamp(v, Value{0}, Value{1}); }
+
+}  // namespace
+
+void GenerateCorrelatedPoint(std::mt19937_64& rng, Dim d, Value* out) {
+  // A diagonal position v with a peak distribution, then each coordinate
+  // is a small peak-shaped perturbation of v, bounded by the distance to
+  // the nearest domain edge so that all coordinates stay correlated.
+  const Value v = RandomPeak(rng, 0, 1, 8);
+  const Value l = std::min(v, Value{1} - v);
+  for (Dim i = 0; i < d; ++i) {
+    const Value h = RandomPeak(rng, -l, l, 4);
+    out[i] = Clamp01(v + h * Value{0.35});
+  }
+}
+
+void GenerateAntiCorrelatedPoint(std::mt19937_64& rng, Dim d, Value* out) {
+  // A plane position v (normal-ish around 1/2), all coordinates start at
+  // v, then value is repeatedly transferred between random coordinate
+  // pairs: the sum stays (approximately) constant while individual
+  // coordinates spread — good somewhere means bad elsewhere.
+  const Value v = RandomPeak(rng, 0, 1, 48);
+  const Value l = std::min(v, Value{1} - v);
+  for (Dim i = 0; i < d; ++i) out[i] = v;
+  if (d == 1) return;
+  std::uniform_int_distribution<Dim> pick(0, d - 1);
+  const int transfers = static_cast<int>(4 * d);
+  for (int t = 0; t < transfers; ++t) {
+    Dim i = pick(rng);
+    Dim j = pick(rng);
+    if (i == j) continue;
+    const Value h = RandomEqual(rng, -l, l);
+    // Reject transfers that would leave the domain, as randdataset does.
+    if (out[i] + h < 0 || out[i] + h > 1) continue;
+    if (out[j] - h < 0 || out[j] - h > 1) continue;
+    out[i] += h;
+    out[j] -= h;
+  }
+}
+
+Dataset Generate(DataType type, std::size_t n, Dim d, std::uint64_t seed) {
+  assert(d >= 1 && d <= Subspace::kMaxDims);
+  std::mt19937_64 rng(seed);
+  std::vector<Value> values(n * d);
+  for (std::size_t p = 0; p < n; ++p) {
+    Value* row = values.data() + p * d;
+    switch (type) {
+      case DataType::kUniformIndependent:
+        for (Dim i = 0; i < d; ++i) row[i] = RandomEqual(rng, 0, 1);
+        break;
+      case DataType::kCorrelated:
+        GenerateCorrelatedPoint(rng, d, row);
+        break;
+      case DataType::kAntiCorrelated:
+        GenerateAntiCorrelatedPoint(rng, d, row);
+        break;
+    }
+  }
+  return Dataset(d, std::move(values));
+}
+
+std::string_view ToString(DataType type) {
+  switch (type) {
+    case DataType::kAntiCorrelated:
+      return "anti-correlated";
+    case DataType::kCorrelated:
+      return "correlated";
+    case DataType::kUniformIndependent:
+      return "uniform-independent";
+  }
+  return "?";
+}
+
+std::string_view ShortName(DataType type) {
+  switch (type) {
+    case DataType::kAntiCorrelated:
+      return "AC";
+    case DataType::kCorrelated:
+      return "CO";
+    case DataType::kUniformIndependent:
+      return "UI";
+  }
+  return "?";
+}
+
+bool ParseDataType(std::string_view text, DataType* out) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "ac" || lower == "anti-correlated" || lower == "anti") {
+    *out = DataType::kAntiCorrelated;
+    return true;
+  }
+  if (lower == "co" || lower == "correlated" || lower == "corr") {
+    *out = DataType::kCorrelated;
+    return true;
+  }
+  if (lower == "ui" || lower == "uniform-independent" || lower == "uniform" ||
+      lower == "indep") {
+    *out = DataType::kUniformIndependent;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace skyline

@@ -1,0 +1,53 @@
+// Synthetic dataset generators following Börzsönyi, Kossmann, Stocker
+// (ICDE 2001) — the same three families produced by the "Skyline
+// Benchmark Data Generator" (pgfoundry randdataset) used by the paper:
+// anti-correlated (AC), correlated (CO) and uniform independent (UI).
+// All values lie in [0, 1] and the skyline convention is minimization.
+//
+// Generation is fully deterministic given (type, n, d, seed).
+#ifndef SKYLINE_DATA_GENERATOR_H_
+#define SKYLINE_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+#include "src/core/dataset.h"
+
+namespace skyline {
+
+/// The three data families of the skyline literature.
+enum class DataType {
+  /// Anti-correlated: points concentrate around the hyperplane
+  /// sum_i x[i] = d/2; being good in one dimension implies being bad in
+  /// others, so the skyline is very large.
+  kAntiCorrelated,
+  /// Correlated: points concentrate near the diagonal; a point good in
+  /// one dimension is good in all, so the skyline is tiny.
+  kCorrelated,
+  /// Uniform independent: every coordinate i.i.d. uniform on [0, 1].
+  kUniformIndependent,
+};
+
+/// Long name, e.g. "anti-correlated".
+std::string_view ToString(DataType type);
+
+/// The paper's two-letter tag: "AC", "CO" or "UI".
+std::string_view ShortName(DataType type);
+
+/// Parses "AC"/"CO"/"UI" (case-insensitive) or the long names; returns
+/// true on success.
+bool ParseDataType(std::string_view text, DataType* out);
+
+/// Generates n points of d dimensions of the given family.
+Dataset Generate(DataType type, std::size_t n, Dim d, std::uint64_t seed);
+
+/// One AC point appended through `out`; exposed for tests.
+void GenerateAntiCorrelatedPoint(std::mt19937_64& rng, Dim d, Value* out);
+
+/// One CO point appended through `out`; exposed for tests.
+void GenerateCorrelatedPoint(std::mt19937_64& rng, Dim d, Value* out);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_DATA_GENERATOR_H_

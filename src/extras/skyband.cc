@@ -1,0 +1,29 @@
+#include "src/extras/skyband.h"
+
+#include <cassert>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+
+namespace skyline {
+
+SkybandResult ComputeSkyband(const Dataset& data, std::uint32_t k) {
+  assert(k >= 1);
+  const Dim d = data.num_dims();
+  SkybandResult out;
+  for (PointId p : SortedByScore(data, ScoreFunction::kSum)) {
+    const Value* row = data.row(p);
+    std::uint32_t dominators = 0;
+    for (std::size_t i = 0; i < out.points.size() && dominators < k; ++i) {
+      ++out.dominance_tests;
+      if (Dominates(data.row(out.points[i]), row, d)) ++dominators;
+    }
+    if (dominators < k) {
+      out.points.push_back(p);
+      out.dominator_counts.push_back(dominators);
+    }
+  }
+  return out;
+}
+
+}  // namespace skyline

@@ -1,0 +1,36 @@
+// k-skyband: the set of points dominated by fewer than k other points
+// (Papadias et al., SIGMOD 2003). The 1-skyband is exactly the skyline;
+// larger k gives the natural "top layers" relaxation that many skyline
+// applications (paginated results, robustness to outliers) ask for.
+#ifndef SKYLINE_EXTRAS_SKYBAND_H_
+#define SKYLINE_EXTRAS_SKYBAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace skyline {
+
+/// Result of a k-skyband computation.
+struct SkybandResult {
+  /// Points dominated by fewer than k others, in monotone (sum) order.
+  std::vector<PointId> points;
+
+  /// Parallel to `points`: the exact number of dominators of each
+  /// member (always < k).
+  std::vector<std::uint32_t> dominator_counts;
+
+  /// O(d) pairwise scans spent.
+  std::uint64_t dominance_tests = 0;
+};
+
+/// Computes the k-skyband of `data` (k >= 1) with a sorted scan: in
+/// monotone order every dominator precedes its dominatee, and a point
+/// discarded with >= k dominators passes all of them on transitively, so
+/// counting dominators among retained skyband members is exact.
+SkybandResult ComputeSkyband(const Dataset& data, std::uint32_t k);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXTRAS_SKYBAND_H_

@@ -1,0 +1,35 @@
+#include "src/harness/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace skyline {
+
+std::vector<std::size_t> SubspaceSizeHistogram(
+    const std::vector<Subspace>& masks, Dim num_dims) {
+  std::vector<std::size_t> hist(num_dims + 1, 0);
+  for (Subspace m : masks) ++hist[m.size()];
+  return hist;
+}
+
+void PrintHistogram(std::ostream& out, const std::string& title,
+                    const std::vector<std::size_t>& histogram) {
+  out << title << '\n';
+  std::size_t max_count = 1;
+  for (std::size_t c : histogram) max_count = std::max(max_count, c);
+  const double log_max = std::log10(static_cast<double>(max_count) + 1);
+  for (std::size_t s = 0; s < histogram.size(); ++s) {
+    if (s == 0 && histogram[s] == 0) continue;  // size 0 only if present
+    const double frac =
+        log_max > 0
+            ? std::log10(static_cast<double>(histogram[s]) + 1) / log_max
+            : 0;
+    const int bar = static_cast<int>(frac * 50);
+    out << "  size " << (s < 10 ? " " : "") << s << "  "
+        << std::string(static_cast<std::size_t>(bar), '#') << ' '
+        << histogram[s] << '\n';
+  }
+}
+
+}  // namespace skyline

@@ -1,0 +1,27 @@
+// Subspace-size histograms — the quantity plotted in Figures 2 and 6 of
+// the paper: how many (non-pruned) points carry a maximum dominating
+// subspace of each size 1..d.
+#ifndef SKYLINE_HARNESS_HISTOGRAM_H_
+#define SKYLINE_HARNESS_HISTOGRAM_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/subspace.h"
+
+namespace skyline {
+
+/// Counts masks per subspace size. Element [s] of the result is the
+/// number of masks of size s, for s in 0..d.
+std::vector<std::size_t> SubspaceSizeHistogram(
+    const std::vector<Subspace>& masks, Dim num_dims);
+
+/// Renders a histogram as an aligned two-column listing with a log-scaled
+/// ASCII bar, as a stand-in for the paper's bar charts.
+void PrintHistogram(std::ostream& out, const std::string& title,
+                    const std::vector<std::size_t>& histogram);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_HARNESS_HISTOGRAM_H_

@@ -1,0 +1,43 @@
+#include "src/harness/options.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace skyline {
+
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  BenchOptions opts;
+  const char* env = std::getenv("SKYLINE_FULL");
+  if (env != nullptr && std::strcmp(env, "0") != 0 && *env != '\0') {
+    opts.full = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--full") {
+      opts.full = true;
+    } else if (arg == "--reduced") {
+      opts.full = false;
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      opts.runs = std::atoi(arg.data() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed = std::strtoull(arg.data() + 7, nullptr, 10);
+    }
+  }
+  return opts;
+}
+
+std::vector<unsigned> BenchOptions::DimensionSweep() const {
+  if (full) return {2, 4, 6, 8, 10, 12, 16, 20, 24};
+  return {2, 4, 6, 8, 10, 12};
+}
+
+std::vector<std::size_t> BenchOptions::CardinalitySweep() const {
+  if (full) {
+    return {100000, 200000, 300000, 400000, 500000,
+            600000, 700000, 800000, 900000, 1000000};
+  }
+  return {2000, 4000, 6000, 8000, 10000};
+}
+
+}  // namespace skyline

@@ -1,0 +1,48 @@
+// Command-line options shared by all benchmark binaries.
+//
+// Every bench runs at a reduced scale by default so the whole suite
+// completes in minutes; `--full` (or SKYLINE_FULL=1 in the environment)
+// switches to the paper's scale (dimensionality up to 24, cardinality up
+// to 1M, 10 timed runs), which takes hours for the AC sweeps — exactly
+// as it did for the paper's authors.
+#ifndef SKYLINE_HARNESS_OPTIONS_H_
+#define SKYLINE_HARNESS_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace skyline {
+
+/// Parsed benchmark options.
+struct BenchOptions {
+  /// Paper-scale run (otherwise reduced CI scale).
+  bool full = false;
+
+  /// Timed runs per measurement; 0 = pick by scale (3 reduced, 10 full).
+  int runs = 0;
+
+  /// Seed for synthetic datasets.
+  std::uint64_t seed = 42;
+
+  /// Parses --full, --runs=N, --seed=N and the SKYLINE_FULL env var.
+  /// Unknown arguments are ignored (so binaries can add their own).
+  static BenchOptions Parse(int argc, char** argv);
+
+  /// Effective number of timed runs.
+  int EffectiveRuns() const { return runs > 0 ? runs : (full ? 10 : 3); }
+
+  /// Dimensionality sweep of the paper's tables (2..24-D), truncated at
+  /// reduced scale.
+  std::vector<unsigned> DimensionSweep() const;
+
+  /// Cardinality sweep of the paper's tables (100K..1M), scaled down at
+  /// reduced scale.
+  std::vector<std::size_t> CardinalitySweep() const;
+
+  /// Cardinality for the dimensionality sweep (paper: 200K).
+  std::size_t SweepCardinality() const { return full ? 200000 : 4000; }
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_HARNESS_OPTIONS_H_

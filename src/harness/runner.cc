@@ -1,0 +1,31 @@
+#include "src/harness/runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace skyline {
+
+RunResult RunAlgorithm(const SkylineAlgorithm& algo, const Dataset& data,
+                       int runs) {
+  runs = std::max(runs, 1);
+  RunResult result;
+  double total_ms = 0;
+  for (int r = 0; r < runs; ++r) {
+    SkylineStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<PointId> skyline = algo.Compute(data, &stats);
+    const auto end = std::chrono::steady_clock::now();
+    total_ms += std::chrono::duration<double, std::milli>(end - start).count();
+    if (r == runs - 1) {
+      result.stats = stats;
+      result.skyline = std::move(skyline);
+    }
+  }
+  result.elapsed_ms = total_ms / runs;
+  result.mean_dominance_tests =
+      result.stats.MeanDominanceTests(data.num_points());
+  result.skyline_size = result.stats.skyline_size;
+  return result;
+}
+
+}  // namespace skyline

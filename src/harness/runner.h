@@ -1,0 +1,41 @@
+// Experiment runner: executes a skyline algorithm several times on a
+// dataset and reports the paper's two evaluation metrics — mean dominance
+// test number (total tests / N) and elapsed time in milliseconds
+// (mean over the runs; data is in memory before the clock starts,
+// matching Section 6's protocol).
+#ifndef SKYLINE_HARNESS_RUNNER_H_
+#define SKYLINE_HARNESS_RUNNER_H_
+
+#include <vector>
+
+#include "src/algo/algorithm.h"
+#include "src/core/stats.h"
+
+namespace skyline {
+
+/// Result of repeated measured runs of one algorithm on one dataset.
+struct RunResult {
+  /// Mean dominance tests per point (identical across runs — the
+  /// algorithms are deterministic).
+  double mean_dominance_tests = 0;
+
+  /// Mean elapsed wall time per run, in milliseconds.
+  double elapsed_ms = 0;
+
+  /// Skyline size of the (deterministic) result.
+  std::size_t skyline_size = 0;
+
+  /// Full instrumentation of the last run.
+  SkylineStats stats;
+
+  /// The computed skyline ids of the last run.
+  std::vector<PointId> skyline;
+};
+
+/// Runs `algo` on `data` `runs` times (>= 1) and aggregates the metrics.
+RunResult RunAlgorithm(const SkylineAlgorithm& algo, const Dataset& data,
+                       int runs);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_HARNESS_RUNNER_H_

@@ -1,0 +1,54 @@
+#include "src/harness/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace skyline {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+
+  out << std::string(total, '=') << '\n' << title << '\n'
+      << std::string(total, '-') << '\n';
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  out << std::string(total, '=') << '\n';
+}
+
+std::string TextTable::FormatNumber(double v) {
+  if (!std::isfinite(v)) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string TextTable::FormatGain(double baseline, double boosted) {
+  if (boosted <= 0 || baseline <= boosted) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "x %.2f", baseline / boosted);
+  return buf;
+}
+
+}  // namespace skyline

@@ -1,0 +1,40 @@
+// Paper-style text tables for the benchmark binaries: fixed-width
+// columns, a title line, and number formatting close to the paper's
+// (up to 6 significant digits).
+#ifndef SKYLINE_HARNESS_TABLE_H_
+#define SKYLINE_HARNESS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace skyline {
+
+/// A simple column-aligned table accumulated row by row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a title banner.
+  void Print(std::ostream& out, const std::string& title) const;
+
+  /// Formats like the paper's tables: up to 6 significant digits, no
+  /// trailing zeros, plain decimal (no exponent) for the ranges involved.
+  static std::string FormatNumber(double v);
+
+  /// Formats a paper-style performance gain: "x 4.84", or "-" when there
+  /// is no gain (ratio <= 1), mirroring the tables' convention.
+  static std::string FormatGain(double baseline, double boosted);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_HARNESS_TABLE_H_

@@ -1,0 +1,120 @@
+#include "src/parallel/parallel_skyline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+
+namespace skyline {
+
+namespace {
+
+/// SFS scan over one partition, counting tests locally.
+std::vector<PointId> LocalSkyline(const Dataset& data,
+                                  std::vector<PointId> ids,
+                                  const std::vector<Value>& scores,
+                                  std::uint64_t* tests) {
+  const Dim d = data.num_dims();
+  std::sort(ids.begin(), ids.end(), [&](PointId a, PointId b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a < b;
+  });
+  std::vector<PointId> result;
+  std::uint64_t local_tests = 0;
+  for (PointId p : ids) {
+    bool dominated = false;
+    for (PointId s : result) {
+      ++local_tests;
+      if (Dominates(data.row(s), data.row(p), d)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(p);
+  }
+  *tests += local_tests;
+  return result;
+}
+
+}  // namespace
+
+std::vector<PointId> ParallelSfs::Compute(const Dataset& data,
+                                          SkylineStats* stats) const {
+  const std::size_t n = data.num_points();
+  const Dim d = data.num_dims();
+  if (stats != nullptr) *stats = SkylineStats{};
+  if (n == 0) return {};
+
+  unsigned threads = threads_ > 0 ? threads_
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, (n + 63) / 64));  // keep chunks sane
+
+  const std::vector<Value> scores = ComputeScores(data, options_.sort);
+
+  // Phase 1: local skylines of contiguous partitions, in parallel.
+  std::vector<std::vector<PointId>> local(threads);
+  std::vector<std::uint64_t> tests(threads, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t lo = n * t / threads;
+        const std::size_t hi = n * (t + 1) / threads;
+        std::vector<PointId> ids(hi - lo);
+        std::iota(ids.begin(), ids.end(), static_cast<PointId>(lo));
+        local[t] = LocalSkyline(data, std::move(ids), scores, &tests[t]);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  // Phase 2: cross-filter. A survivor of partition t is a global skyline
+  // point iff no local skyline point of another partition dominates it
+  // (a dominator elsewhere is itself weakly dominated by a local skyline
+  // point of its partition, which then also dominates the survivor).
+  std::vector<std::vector<PointId>> surviving(threads);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::uint64_t local_tests = 0;
+        for (PointId p : local[t]) {
+          bool dominated = false;
+          for (unsigned o = 0; o < threads && !dominated; ++o) {
+            if (o == t) continue;
+            for (PointId q : local[o]) {
+              ++local_tests;
+              if (Dominates(data.row(q), data.row(p), d)) {
+                dominated = true;
+                break;
+              }
+            }
+          }
+          if (!dominated) surviving[t].push_back(p);
+        }
+        tests[t] += local_tests;
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  std::vector<PointId> result;
+  std::uint64_t total_tests = 0;
+  for (unsigned t = 0; t < threads; ++t) {
+    result.insert(result.end(), surviving[t].begin(), surviving[t].end());
+    total_tests += tests[t];
+  }
+  if (stats != nullptr) {
+    stats->dominance_tests = total_tests;
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

@@ -1,0 +1,38 @@
+// Shared-memory parallel skyline (in the spirit of Chester et al.,
+// ICDE 2015 — the source of the paper's real datasets): partition the
+// input across worker threads, compute local skylines independently,
+// then cross-filter the local skylines in parallel. Dominance is
+// transitive, so filtering against the other partitions' *local
+// skylines* (rather than their full partitions) is complete.
+#ifndef SKYLINE_PARALLEL_PARALLEL_SKYLINE_H_
+#define SKYLINE_PARALLEL_PARALLEL_SKYLINE_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// Multi-threaded partition + cross-filter skyline. Local skylines use
+/// the SFS scan. Deterministic: the result and the dominance-test count
+/// do not depend on thread scheduling.
+class ParallelSfs final : public SkylineAlgorithm {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency().
+  explicit ParallelSfs(unsigned threads = 0,
+                       const AlgorithmOptions& options = {})
+      : threads_(threads), options_(options) {}
+
+  std::string_view name() const override { return "parallel-sfs"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  unsigned threads_;
+  AlgorithmOptions options_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_PARALLEL_PARALLEL_SKYLINE_H_

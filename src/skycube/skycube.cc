@@ -1,0 +1,163 @@
+#include "src/skycube/skycube.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+namespace skyline {
+
+bool DominatesInSubspace(const Value* a, const Value* b, Subspace subspace) {
+  bool strict = false;
+  bool dominated = true;
+  subspace.ForEachDim([&](Dim i) {
+    if (a[i] > b[i]) dominated = false;
+    if (a[i] < b[i]) strict = true;
+  });
+  return dominated && strict;
+}
+
+bool EqualInSubspace(const Value* a, const Value* b, Subspace subspace) {
+  bool equal = true;
+  subspace.ForEachDim([&](Dim i) {
+    if (a[i] != b[i]) equal = false;
+  });
+  return equal;
+}
+
+namespace {
+
+/// BNL over the id list `candidates` under subspace dominance.
+std::vector<PointId> SubspaceBnl(const Dataset& data, Subspace subspace,
+                                 const std::vector<PointId>& candidates,
+                                 std::uint64_t* tests) {
+  std::vector<PointId> window;
+  std::uint64_t local_tests = 0;
+  for (PointId p : candidates) {
+    const Value* row = data.row(p);
+    bool dominated = false;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      const PointId w = window[i];
+      ++local_tests;
+      if (DominatesInSubspace(data.row(w), row, subspace)) {
+        dominated = true;
+        for (std::size_t j = i; j < window.size(); ++j) {
+          window[keep++] = window[j];
+        }
+        break;
+      }
+      if (DominatesInSubspace(row, data.row(w), subspace)) continue;
+      window[keep++] = w;
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(p);
+  }
+  if (tests != nullptr) *tests += local_tests;
+  return window;
+}
+
+/// Hash of the projection of a row onto a subspace (raw value bits).
+struct ProjectionHasher {
+  const Dataset* data;
+  Subspace subspace;
+
+  std::size_t Hash(PointId p) const {
+    const Value* row = data->row(p);
+    std::size_t h = 0xcbf29ce484222325ull;
+    subspace.ForEachDim([&](Dim i) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &row[i], sizeof(bits));
+      h ^= bits;
+      h *= 0x100000001b3ull;
+    });
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<PointId> SubspaceSkyline(const Dataset& data, Subspace subspace,
+                                     std::uint64_t* tests) {
+  assert(!subspace.empty());
+  std::vector<PointId> all(data.num_points());
+  for (PointId i = 0; i < data.num_points(); ++i) all[i] = i;
+  std::vector<PointId> result = SubspaceBnl(data, subspace, all, tests);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Skycube Skycube::Compute(const Dataset& data, SkycubeStrategy strategy,
+                         std::uint64_t* tests) {
+  const Dim d = data.num_dims();
+  assert(d >= 1 && d <= 20 && "the skycube stores 2^d - 1 cuboids");
+  Skycube cube;
+  cube.num_dims_ = d;
+  const std::size_t num_masks = std::size_t{1} << d;
+  cube.cuboids_.resize(num_masks);
+
+  if (strategy == SkycubeStrategy::kNaive) {
+    for (std::uint64_t bits = 1; bits < num_masks; ++bits) {
+      cube.cuboids_[bits] = SubspaceSkyline(data, Subspace(bits), tests);
+    }
+    return cube;
+  }
+
+  // Top-down: full space first, then decreasing subspace size; each
+  // cuboid V seeds from the parent U = V + lowest missing dimension.
+  std::vector<std::uint64_t> order;
+  order.reserve(num_masks - 1);
+  for (std::uint64_t bits = 1; bits < num_masks; ++bits) order.push_back(bits);
+  std::sort(order.begin(), order.end(), [](std::uint64_t a, std::uint64_t b) {
+    const int la = std::popcount(a), lb = std::popcount(b);
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+
+  for (std::uint64_t bits : order) {
+    const Subspace subspace(bits);
+    if (subspace == Subspace::Full(d)) {
+      cube.cuboids_[bits] = SubspaceSkyline(data, subspace, tests);
+      continue;
+    }
+    const Dim missing = subspace.Complement(d).Lowest();
+    Subspace parent = subspace;
+    parent.Add(missing);
+    const std::vector<PointId>& candidates = cube.cuboids_[parent.bits()];
+
+    // Skyline of the candidates under V...
+    std::vector<PointId> core = SubspaceBnl(data, subspace, candidates, tests);
+
+    // ...closed under V-projection equality over the whole dataset: a
+    // point that ties on V with a core member is equally non-dominated.
+    ProjectionHasher hasher{&data, subspace};
+    std::unordered_multimap<std::size_t, PointId> core_by_hash;
+    core_by_hash.reserve(core.size() * 2);
+    for (PointId p : core) core_by_hash.emplace(hasher.Hash(p), p);
+    std::vector<PointId>& out = cube.cuboids_[bits];
+    for (PointId p = 0; p < data.num_points(); ++p) {
+      const auto [begin, end] = core_by_hash.equal_range(hasher.Hash(p));
+      for (auto it = begin; it != end; ++it) {
+        if (EqualInSubspace(data.row(p), data.row(it->second), subspace)) {
+          out.push_back(p);
+          break;
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+const std::vector<PointId>& Skycube::skyline(Subspace subspace) const {
+  assert(!subspace.empty());
+  assert(subspace.bits() < cuboids_.size());
+  return cuboids_[subspace.bits()];
+}
+
+std::size_t Skycube::total_size() const {
+  std::size_t total = 0;
+  for (const auto& cuboid : cuboids_) total += cuboid.size();
+  return total;
+}
+
+}  // namespace skyline

@@ -1,0 +1,78 @@
+// Subspace skylines and the skycube (Pei et al. / Yuan et al., VLDB 2005;
+// discussed in the paper's related work). The skycube materializes the
+// skyline of every non-empty subspace of the d dimensions — the
+// structure subspace-skyline queries ("best hotels by price and rating
+// only") are answered from.
+//
+// Two computation strategies are provided: independent per-cuboid
+// evaluation, and a top-down sharing scheme that seeds each cuboid with
+// its parent cuboid's skyline. Sharing is exact — including with
+// duplicate projections, which the classic subset relationship
+// sky(V) ⊆ sky(U) does not survive: a point can be in sky(V) while
+// absent from every parent skyline if it ties on V with a parent-skyline
+// member. The implementation repairs exactly that case by closing the
+// candidate skyline under V-projection equality.
+#ifndef SKYLINE_SKYCUBE_SKYCUBE_H_
+#define SKYLINE_SKYCUBE_SKYCUBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/subspace.h"
+
+namespace skyline {
+
+/// Dominance restricted to a subspace: a <_V b iff a[i] <= b[i] for all
+/// i in V with at least one strict dimension in V.
+bool DominatesInSubspace(const Value* a, const Value* b, Subspace subspace);
+
+/// Equality restricted to a subspace.
+bool EqualInSubspace(const Value* a, const Value* b, Subspace subspace);
+
+/// Skyline of `data` under dominance restricted to the non-empty
+/// `subspace`. Adds the number of restricted dominance tests to `tests`
+/// when non-null.
+std::vector<PointId> SubspaceSkyline(const Dataset& data, Subspace subspace,
+                                     std::uint64_t* tests = nullptr);
+
+/// How Skycube::Compute fills the cuboids.
+enum class SkycubeStrategy {
+  /// Every cuboid computed independently from the full dataset.
+  kNaive,
+  /// Top-down sharing: each cuboid's candidates are its parent cuboid's
+  /// skyline, closed under projection equality. Exact, and much cheaper
+  /// whenever skylines are small relative to N.
+  kTopDown,
+};
+
+/// The materialized skycube: one skyline per non-empty subspace.
+/// Practical for d <= 20 (2^d - 1 cuboids are stored).
+class Skycube {
+ public:
+  /// Computes all cuboids of `data`. `tests` (optional) receives the
+  /// total number of restricted dominance tests spent.
+  static Skycube Compute(const Dataset& data,
+                         SkycubeStrategy strategy = SkycubeStrategy::kTopDown,
+                         std::uint64_t* tests = nullptr);
+
+  /// Skyline of the given non-empty subspace, ids ascending.
+  const std::vector<PointId>& skyline(Subspace subspace) const;
+
+  Dim num_dims() const { return num_dims_; }
+
+  /// Number of materialized cuboids: 2^d - 1.
+  std::size_t num_cuboids() const { return cuboids_.size() - 1; }
+
+  /// Total ids stored across all cuboids.
+  std::size_t total_size() const;
+
+ private:
+  Dim num_dims_ = 0;
+  /// Indexed by subspace bitmask; entry 0 unused.
+  std::vector<std::vector<PointId>> cuboids_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SKYCUBE_SKYCUBE_H_

@@ -1,0 +1,165 @@
+#include "src/stream/streaming_skyline.h"
+
+#include <algorithm>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+
+namespace skyline {
+
+StreamingSkyline::StreamingSkyline(Dim num_dims, StreamingOptions options)
+    : data_(num_dims), options_(options), index_(num_dims) {
+  options_.bootstrap_size = std::max<std::size_t>(1, options_.bootstrap_size);
+  options_.max_reference_points =
+      std::max<std::size_t>(1, options_.max_reference_points);
+}
+
+bool StreamingSkyline::Insert(std::span<const Value> point) {
+  data_.Append(point);
+  const PointId id = static_cast<PointId>(data_.num_points() - 1);
+  in_skyline_.push_back(false);
+  masks_.emplace_back();
+  ++stats_.inserts;
+
+  bool entered;
+  if (!frozen_) {
+    entered = BootstrapInsert(id);
+    if (data_.num_points() >= options_.bootstrap_size) Freeze();
+  } else {
+    entered = IndexedInsert(id);
+  }
+  return entered;
+}
+
+bool StreamingSkyline::BootstrapInsert(PointId id) {
+  const Dim d = data_.num_dims();
+  const Value* row = data_.row(id);
+  std::size_t keep = 0;
+  bool dominated = false;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const PointId w = window_[i];
+    ++stats_.dominance_tests;
+    switch (Compare(data_.row(w), row, d)) {
+      case DominanceRelation::kFirstDominates:
+        dominated = true;
+        break;
+      case DominanceRelation::kSecondDominates:
+        in_skyline_[w] = false;
+        --skyline_size_;
+        ++stats_.evictions;
+        continue;  // evict w from the window
+      case DominanceRelation::kEqual:
+      case DominanceRelation::kIncomparable:
+        break;
+    }
+    if (dominated) {
+      // No eviction can have preceded a dominator (transitivity), so the
+      // kept prefix is intact; the suffix is untouched.
+      for (std::size_t j = i; j < window_.size(); ++j) {
+        window_[keep++] = window_[j];
+      }
+      break;
+    }
+    window_[keep++] = w;
+  }
+  window_.resize(keep);
+  if (dominated) {
+    ++stats_.rejected_dominated;
+    return false;
+  }
+  window_.push_back(id);
+  in_skyline_[id] = true;
+  ++skyline_size_;
+  return true;
+}
+
+void StreamingSkyline::Freeze() {
+  frozen_ = true;
+  // Reference points: drawn from the bootstrap skyline, lowest Euclidean
+  // scores first — near-origin points split the space into informative
+  // dominating subspaces for later arrivals.
+  std::vector<PointId> candidates = window_;
+  std::sort(candidates.begin(), candidates.end(), [&](PointId a, PointId b) {
+    const Value sa =
+        ScorePoint(data_.row(a), data_.num_dims(), ScoreFunction::kEuclidean);
+    const Value sb =
+        ScorePoint(data_.row(b), data_.num_dims(), ScoreFunction::kEuclidean);
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  if (candidates.size() > options_.max_reference_points) {
+    candidates.resize(options_.max_reference_points);
+  }
+  reference_ = std::move(candidates);
+
+  // Index every current skyline point under its mask w.r.t. the frozen
+  // reference set.
+  for (PointId id : window_) {
+    masks_[id] = ReferenceMask(data_.row(id));
+    index_.Add(id, masks_[id]);
+  }
+  window_.clear();
+}
+
+Subspace StreamingSkyline::ReferenceMask(const Value* row) {
+  const Dim d = data_.num_dims();
+  Subspace mask;
+  for (PointId ref : reference_) {
+    mask |= DominatingSubspace(row, data_.row(ref), d);
+    ++stats_.dominance_tests;
+  }
+  return mask;
+}
+
+bool StreamingSkyline::IndexedInsert(PointId id) {
+  const Dim d = data_.num_dims();
+  const Value* row = data_.row(id);
+  const Subspace mask = ReferenceMask(row);
+  masks_[id] = mask;
+
+  // Dominator check: by Lemma 4.3 (which holds for any fixed reference
+  // set), a dominator's mask is a superset of the new point's mask.
+  scratch_.clear();
+  index_.Query(mask, &scratch_);
+  ++stats_.index_queries;
+  stats_.index_candidates += scratch_.size();
+  for (PointId s : scratch_) {
+    ++stats_.dominance_tests;
+    if (Dominates(data_.row(s), row, d)) {
+      ++stats_.rejected_dominated;
+      return false;
+    }
+  }
+
+  // Eviction check: anything the new point dominates has a mask that is
+  // a subset of the new point's mask.
+  scratch_.clear();
+  index_.QueryContained(mask, &scratch_);
+  ++stats_.index_queries;
+  stats_.index_candidates += scratch_.size();
+  for (PointId s : scratch_) {
+    ++stats_.dominance_tests;
+    if (Dominates(row, data_.row(s), d)) {
+      index_.Remove(s, masks_[s]);
+      in_skyline_[s] = false;
+      --skyline_size_;
+      ++stats_.evictions;
+    }
+  }
+
+  index_.Add(id, mask);
+  in_skyline_[id] = true;
+  ++skyline_size_;
+  return true;
+}
+
+std::vector<PointId> StreamingSkyline::Skyline() const {
+  std::vector<PointId> out;
+  out.reserve(skyline_size_);
+  for (PointId id = 0; id < in_skyline_.size(); ++id) {
+    if (in_skyline_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace skyline

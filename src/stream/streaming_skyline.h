@@ -1,0 +1,116 @@
+// Streaming skyline maintenance — the paper's future-work item (3):
+// "adapting the proposed method to updating data such as data streams".
+//
+// The key observation making the subset approach streamable is that
+// Lemma 4.3 never uses the skyline-ness of the reference set: for ANY
+// fixed set R of reference points, q1 < q2 implies
+// D_{q1<R} ⊇ D_{q2<R}. So a StreamingSkyline freezes a reference set
+// from the first arrivals and then maintains the skyline under inserts
+// with two subset queries per point:
+//
+//   * dominator candidates  = stored masks ⊇ mask(q)   (Query)
+//   * eviction candidates   = stored masks ⊆ mask(q)   (QueryContained)
+//
+// Everything outside those candidate sets is provably incomparable with
+// the incoming point and is never touched.
+#ifndef SKYLINE_STREAM_STREAMING_SKYLINE_H_
+#define SKYLINE_STREAM_STREAMING_SKYLINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/subspace.h"
+#include "src/subset/subset_index.h"
+
+namespace skyline {
+
+/// Tuning knobs for StreamingSkyline.
+struct StreamingOptions {
+  /// Number of points to buffer before freezing the reference set. The
+  /// reference points are drawn from the bootstrap skyline; larger
+  /// values give finer masks (stronger pruning) at a cost of one O(d)
+  /// scan per reference per insert.
+  std::size_t bootstrap_size = 64;
+
+  /// Maximum number of frozen reference points.
+  std::size_t max_reference_points = 16;
+};
+
+/// Counters reported by StreamingSkyline.
+struct StreamingStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t rejected_dominated = 0;  // arrived already dominated
+  std::uint64_t evictions = 0;           // skyline points displaced
+  std::uint64_t dominance_tests = 0;     // O(d) pairwise scans
+  std::uint64_t index_queries = 0;
+  std::uint64_t index_candidates = 0;
+};
+
+/// Maintains the skyline of an append-only stream of points.
+///
+/// All inserted points are retained in an internal Dataset and addressed
+/// by insertion order (PointId). The structure answers "is p on the
+/// current skyline" and enumerates the current skyline at any time;
+/// deletions from the stream are not supported (a point can only leave
+/// the skyline by being dominated by a later insert).
+class StreamingSkyline {
+ public:
+  explicit StreamingSkyline(Dim num_dims, StreamingOptions options = {});
+
+  /// Inserts a point (copied). Returns true iff the point is on the
+  /// skyline *at insertion time* (it may be evicted later).
+  bool Insert(std::span<const Value> point);
+
+  /// Current skyline ids, in insertion order.
+  std::vector<PointId> Skyline() const;
+
+  /// True iff `id` is on the current skyline.
+  bool IsSkyline(PointId id) const {
+    return id < in_skyline_.size() && in_skyline_[id];
+  }
+
+  std::size_t skyline_size() const { return skyline_size_; }
+  std::size_t num_points() const { return data_.num_points(); }
+  Dim num_dims() const { return data_.num_dims(); }
+
+  /// All points inserted so far (skyline and dominated alike).
+  const Dataset& data() const { return data_; }
+
+  /// The frozen reference points (empty while bootstrapping).
+  const std::vector<PointId>& reference_points() const { return reference_; }
+
+  const StreamingStats& stats() const { return stats_; }
+
+ private:
+  /// Mask of `row` with respect to the frozen reference set.
+  Subspace ReferenceMask(const Value* row);
+
+  /// Switches from the bootstrap window to the indexed regime.
+  void Freeze();
+
+  /// Insert into the bootstrap BNL window.
+  bool BootstrapInsert(PointId id);
+
+  /// Insert via the subset index (post-freeze).
+  bool IndexedInsert(PointId id);
+
+  Dataset data_;
+  StreamingOptions options_;
+  StreamingStats stats_;
+
+  bool frozen_ = false;
+  std::vector<PointId> window_;  // bootstrap skyline (pre-freeze)
+
+  std::vector<PointId> reference_;
+  SubsetIndex index_;
+  std::vector<Subspace> masks_;     // by PointId; meaningful post-freeze
+  std::vector<bool> in_skyline_;    // by PointId
+  std::size_t skyline_size_ = 0;
+  std::vector<PointId> scratch_;    // candidate buffer
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_STREAM_STREAMING_SKYLINE_H_

@@ -1,0 +1,71 @@
+// The boosted algorithms of the paper's evaluation: SFS-Subset,
+// SaLSa-Subset and SDI-Subset. Each runs the Merge pass (Algorithm 1) to
+// obtain the initial skyline (pivots) and a maximum dominating subspace
+// per surviving point, then executes its base algorithm with skyline
+// storage and retrieval delegated to the SubsetIndex: a testing point is
+// compared only with the skyline points whose subspace is a superset of
+// its own (Lemma 5.1), instead of the whole current skyline.
+#ifndef SKYLINE_SUBSET_BOOSTED_H_
+#define SKYLINE_SUBSET_BOOSTED_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// SFS boosted by the subset approach.
+class SfsSubset final : public SkylineAlgorithm {
+ public:
+  explicit SfsSubset(const AlgorithmOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "sfs-subset"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+/// SaLSa boosted by the subset approach (minC sort + stop point are
+/// preserved; only skyline storage/retrieval changes).
+class SalsaSubset final : public SkylineAlgorithm {
+ public:
+  explicit SalsaSubset(const AlgorithmOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "salsa-subset"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+/// SDI boosted by the subset approach (per-dimension traversal, tie-block
+/// local tests and the stop-point rule are preserved; candidate skyline
+/// points come from the SubsetIndex).
+class SdiSubset final : public SkylineAlgorithm {
+ public:
+  explicit SdiSubset(const AlgorithmOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "sdi-subset"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SUBSET_BOOSTED_H_

@@ -1,0 +1,125 @@
+#include "src/subset/merge.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+
+namespace skyline {
+
+MergeResult MergeSubspaces(const Dataset& data, int sigma) {
+  assert(sigma >= 1);
+  const std::size_t n = data.num_points();
+  const Dim d = data.num_dims();
+  MergeResult out;
+  if (n == 0) return out;
+
+  // Line 1: score each point by (squared) Euclidean distance to the
+  // corner of per-dimension minima. Squaring preserves the order and
+  // avoids the sqrt; anchoring at the minima corner instead of the
+  // origin makes the score strictly monotone under dominance for
+  // arbitrary (including negative) values, so the extracted minimum is
+  // always a skyline point. For the paper's [0,1] data this coincides
+  // with the distance to the zero point up to the anchor shift.
+  std::vector<Value> lo(d, std::numeric_limits<Value>::infinity());
+  for (PointId i = 0; i < n; ++i) {
+    const Value* row = data.row(i);
+    for (Dim k = 0; k < d; ++k) {
+      if (row[k] < lo[k]) lo[k] = row[k];
+    }
+  }
+  std::vector<Value> scores(n);
+  for (PointId i = 0; i < n; ++i) {
+    const Value* row = data.row(i);
+    Value s = 0;
+    for (Dim k = 0; k < d; ++k) {
+      const Value v = row[k] - lo[k];
+      s += v * v;
+    }
+    scores[i] = s;
+  }
+
+  struct Active {
+    PointId id;
+    Subspace mask;  // maximum dominating subspace so far
+  };
+  std::vector<Active> active(n);
+  for (PointId i = 0; i < n; ++i) active[i] = {i, Subspace{}};
+
+  // Histogram of subspace sizes (bins 1..d) after the previous iteration.
+  std::vector<std::size_t> prev_hist(d + 1, 0);
+
+  int stability = 0;
+  while (stability < sigma) {
+    if (active.empty()) break;
+
+    // Line 8: the active point with minimal score is a skyline point.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < active.size(); ++i) {
+      if (scores[active[i].id] < scores[active[best].id]) best = i;
+    }
+    const PointId pivot = active[best].id;
+    const Value* pivot_row = data.row(pivot);
+    out.pivots.push_back(pivot);
+    // The pivot leaves the active set: discount it from the previous
+    // histogram so that its departure alone does not read as instability
+    // (otherwise the maximal stability sigma = d could never be reached).
+    const Dim pivot_bin = active[best].mask.size();
+    if (out.iterations >= 1 && prev_hist[pivot_bin] > 0) {
+      --prev_hist[pivot_bin];
+    }
+    active.erase(active.begin() + best);
+    ++out.iterations;
+
+    // Lines 11-18: compare the pivot with every active point.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      Active& q = active[i];
+      bool q_worse = false;
+      const Subspace mask =
+          DominatingSubspaceEx(data.row(q.id), pivot_row, d, &q_worse);
+      ++out.dominance_tests;
+      if (mask.empty()) {
+        // The pivot weakly dominates q: prune it, unless it is an exact
+        // duplicate of the pivot, which is itself a skyline point.
+        if (!q_worse) {
+          out.pivots.push_back(q.id);
+        } else {
+          ++out.pruned;
+        }
+        continue;
+      }
+      q.mask |= mask;
+      active[keep++] = q;
+    }
+    active.resize(keep);
+
+    // Line 19: stability = number of subspace-size bins whose population
+    // did not change in this iteration. The first iteration always
+    // reports zero: before any pivot there is no distribution to be
+    // stable against (this is also why sigma = 1 is meaningless — the
+    // method's whole point is to *change* the distribution at least once).
+    std::vector<std::size_t> hist(d + 1, 0);
+    for (const Active& q : active) ++hist[q.mask.size()];
+    stability = 0;
+    if (out.iterations > 1) {
+      for (Dim s = 1; s <= d; ++s) {
+        if (hist[s] == prev_hist[s]) ++stability;
+      }
+    }
+    prev_hist = std::move(hist);
+  }
+
+  out.remaining.reserve(active.size());
+  out.subspaces.reserve(active.size());
+  for (const Active& q : active) {
+    assert(!q.mask.empty());
+    out.remaining.push_back(q.id);
+    out.subspaces.push_back(q.mask);
+  }
+  return out;
+}
+
+}  // namespace skyline

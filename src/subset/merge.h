@@ -1,0 +1,59 @@
+// Subspace union — Algorithm 1 ("Merge") of the paper.
+//
+// Iteratively extracts pivot points (the remaining point with minimal
+// Euclidean distance to the origin, always a skyline point on
+// non-negative data), prunes everything a pivot dominates, and merges
+// each surviving point's dominating subspace D_{q<p} (Definition 3.4)
+// across pivots into its *maximum dominating subspace* D_{q<S}
+// (Definition 4.1). Iteration stops when the distribution of points over
+// subspace sizes is stable: the stability measure sigma' counts the
+// subspace-size bins whose population did not change in the last
+// iteration, and the pass ends once sigma' >= sigma.
+#ifndef SKYLINE_SUBSET_MERGE_H_
+#define SKYLINE_SUBSET_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/subspace.h"
+#include "src/core/types.h"
+
+namespace skyline {
+
+/// Output of the Merge pass.
+struct MergeResult {
+  /// The initial skyline S: the pivot points, in selection order (plus
+  /// any exact duplicates of pivots discovered while pruning). Every
+  /// entry is a skyline point of the dataset.
+  std::vector<PointId> pivots;
+
+  /// Points neither selected as pivots nor pruned; none is dominated by
+  /// any pivot.
+  std::vector<PointId> remaining;
+
+  /// Parallel to `remaining`: the maximum dominating subspace D_{q<S} of
+  /// each remaining point. Always non-empty.
+  std::vector<Subspace> subspaces;
+
+  /// Pairwise comparisons spent (each D_{q<p} computation is one O(d)
+  /// row scan, counted as a dominance test).
+  std::uint64_t dominance_tests = 0;
+
+  /// Points pruned because a pivot dominated them.
+  std::uint64_t pruned = 0;
+
+  /// Number of pivot iterations executed.
+  int iterations = 0;
+};
+
+/// Runs Algorithm 1 on `data` with stability threshold `sigma` (>= 1).
+///
+/// Precondition: values must be non-negative, so that the Euclidean score
+/// is strictly monotone under dominance and the extracted minimum is a
+/// skyline point (the paper's datasets are all non-negative).
+MergeResult MergeSubspaces(const Dataset& data, int sigma);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SUBSET_MERGE_H_

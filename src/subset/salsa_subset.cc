@@ -1,0 +1,86 @@
+#include <algorithm>
+#include <limits>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+#include "src/subset/boosted.h"
+#include "src/subset/merge.h"
+#include "src/subset/subset_index.h"
+
+namespace skyline {
+
+std::vector<PointId> SalsaSubset::Compute(const Dataset& data,
+                                          SkylineStats* stats) const {
+  const Dim d = data.num_dims();
+  if (stats != nullptr) *stats = SkylineStats{};
+  if (data.num_points() == 0) return {};
+
+  const int sigma = EffectiveSigma(options_.sigma, d);
+  MergeResult merge = MergeSubspaces(data, sigma);
+
+  SubsetIndex index(d);
+  for (PointId pv : merge.pivots) index.AddAlwaysCandidate(pv);
+  std::vector<PointId> result = merge.pivots;
+
+  // The stop value must account for the pivot skyline points too: they
+  // are part of the current skyline from the start.
+  Value stop_value = std::numeric_limits<Value>::infinity();
+  auto max_coord_of = [&](PointId p) {
+    const Value* row = data.row(p);
+    Value m = row[0];
+    for (Dim i = 1; i < d; ++i) m = std::max(m, row[i]);
+    return m;
+  };
+  for (PointId pv : merge.pivots) {
+    stop_value = std::min(stop_value, max_coord_of(pv));
+  }
+
+  // minC order with sum tie-break over the surviving points.
+  const std::vector<Value> mins =
+      ComputeScores(data, ScoreFunction::kMinCoordinate);
+  const std::vector<Value> sums = ComputeScores(data, ScoreFunction::kSum);
+  std::vector<std::size_t> order(merge.remaining.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const PointId pa = merge.remaining[a], pb = merge.remaining[b];
+    if (mins[pa] != mins[pb]) return mins[pa] < mins[pb];
+    if (sums[pa] != sums[pb]) return sums[pa] < sums[pb];
+    return pa < pb;
+  });
+
+  DominanceTester tester(data);
+  SkylineStats local;
+  std::vector<PointId> candidates;
+  for (std::size_t i : order) {
+    const PointId q = merge.remaining[i];
+    if (mins[q] > stop_value) break;  // every later point is dominated
+    const Subspace mask = merge.subspaces[i];
+    candidates.clear();
+    index.Query(mask, &candidates, &local.index_nodes_visited);
+    ++local.index_queries;
+    local.index_candidates += candidates.size();
+    bool dominated = false;
+    for (PointId s : candidates) {
+      if (tester.Dominates(s, q)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      result.push_back(q);
+      index.Add(q, mask);
+      stop_value = std::min(stop_value, max_coord_of(q));
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = local;
+    stats->dominance_tests = merge.dominance_tests + tester.tests();
+    stats->pivot_count = merge.pivots.size();
+    stats->merge_pruned = merge.pruned;
+    stats->skyline_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace skyline

@@ -1,0 +1,51 @@
+#include "src/subset/sigma_estimator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "src/subset/boosted.h"
+
+namespace skyline {
+
+SigmaEstimate EstimateSigma(const Dataset& data, std::size_t sample_size,
+                            std::uint64_t seed) {
+  SigmaEstimate out;
+  const Dim d = data.num_dims();
+  const std::size_t n = data.num_points();
+  if (d <= 1 || n == 0) {
+    out.sigma = 1;
+    return out;
+  }
+
+  // Uniform sample without replacement (partial Fisher-Yates).
+  sample_size = std::min(sample_size, n);
+  std::vector<PointId> ids(n);
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  std::mt19937_64 rng(seed);
+  Dataset sample(d);
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng() % (n - i));
+    std::swap(ids[i], ids[j]);
+    sample.Append(data.point(ids[i]));
+  }
+  out.sample_size = sample_size;
+
+  double best_cost = 0;
+  for (Dim sigma = 2; sigma <= d; ++sigma) {
+    AlgorithmOptions options;
+    options.sigma = static_cast<int>(sigma);
+    SkylineStats stats;
+    SfsSubset(options).Compute(sample, &stats);
+    const double cost = stats.MeanDominanceTests(sample.num_points());
+    out.cost_per_sigma.push_back(cost);
+    if (sigma == 2 || cost < best_cost) {
+      best_cost = cost;
+      out.sigma = static_cast<int>(sigma);
+    }
+  }
+  return out;
+}
+
+}  // namespace skyline

@@ -1,0 +1,45 @@
+// Sample-based stability-threshold selection — the paper's future-work
+// item (2): "developing a cost model to improve the stability threshold
+// in order to find the best number of pivot points". Section 4 already
+// hints at the mechanism: "for large datasets, the stability threshold
+// can be tested from a random sample of the dataset"; this module
+// implements exactly that cost model.
+#ifndef SKYLINE_SUBSET_SIGMA_ESTIMATOR_H_
+#define SKYLINE_SUBSET_SIGMA_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace skyline {
+
+/// Result of the sample-based sigma search.
+struct SigmaEstimate {
+  /// Recommended stability threshold (argmin of the estimated cost;
+  /// ties resolved toward the smaller sigma, which has the cheaper
+  /// Merge pass).
+  int sigma = 2;
+
+  /// Estimated cost — the mean dominance tests of a boosted run on the
+  /// sample — per candidate sigma. cost_per_sigma[k] corresponds to
+  /// sigma = k + 2.
+  std::vector<double> cost_per_sigma;
+
+  /// Number of sample points actually used.
+  std::size_t sample_size = 0;
+};
+
+/// Estimates the best sigma for `data` by running the boosted SFS on a
+/// uniform random sample of at most `sample_size` points for every
+/// sigma in [2, d] and picking the cheapest. Deterministic given `seed`.
+///
+/// The estimate costs O(|sample|^2) in the worst case and is meant for
+/// large datasets where a bad sigma costs far more than the sampling
+/// (the paper's Section 6.1 protocol). For d = 1 the return value is 1.
+SigmaEstimate EstimateSigma(const Dataset& data, std::size_t sample_size,
+                            std::uint64_t seed);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SUBSET_SIGMA_ESTIMATOR_H_

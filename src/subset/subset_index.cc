@@ -1,0 +1,112 @@
+#include "src/subset/subset_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace skyline {
+
+void SubsetIndex::Add(PointId id, Subspace subspace) {
+  assert(subspace.IsSubsetOf(Subspace::Full(num_dims_)));
+  Node* node = &root_;
+  // Walk the dimensions of the reversed subspace in increasing order,
+  // creating nodes on demand (the get(i) of Algorithm 2).
+  subspace.Complement(num_dims_).ForEachDim([&](Dim dim) {
+    auto it = std::lower_bound(
+        node->children.begin(), node->children.end(), dim,
+        [](const auto& entry, Dim key) { return entry.first < key; });
+    if (it == node->children.end() || it->first != dim) {
+      it = node->children.emplace(it, dim, std::make_unique<Node>());
+      ++num_nodes_;
+    }
+    node = it->second.get();
+  });
+  node->points.push_back(id);
+  ++num_points_;
+}
+
+void SubsetIndex::QueryNode(const Node& node, Subspace reversed,
+                            std::vector<PointId>* out,
+                            std::uint64_t* nodes_visited) {
+  // Algorithm 4: collect this node's points, then descend into every
+  // child whose dimension belongs to the reversed query subspace. Path
+  // keys strictly increase, so each qualifying stored path is reached
+  // exactly once.
+  if (nodes_visited != nullptr) ++*nodes_visited;
+  out->insert(out->end(), node.points.begin(), node.points.end());
+  for (const auto& [dim, child] : node.children) {
+    if (reversed.Contains(dim)) {
+      QueryNode(*child, reversed, out, nodes_visited);
+    }
+  }
+}
+
+void SubsetIndex::Query(Subspace subspace, std::vector<PointId>* out,
+                        std::uint64_t* nodes_visited) const {
+  QueryNode(root_, subspace.Complement(num_dims_), out, nodes_visited);
+}
+
+void SubsetIndex::CollectSubtree(const Node& node, std::vector<PointId>* out,
+                                 std::uint64_t* nodes_visited) {
+  if (nodes_visited != nullptr) ++*nodes_visited;
+  out->insert(out->end(), node.points.begin(), node.points.end());
+  for (const auto& [dim, child] : node.children) {
+    (void)dim;
+    CollectSubtree(*child, out, nodes_visited);
+  }
+}
+
+void SubsetIndex::QuerySupersetPaths(const Node& node, Subspace required,
+                                     std::vector<PointId>* out,
+                                     std::uint64_t* nodes_visited) {
+  // Stored subspace ⊆ query  <=>  stored (reversed) path ⊇ reversed
+  // query. Paths carry strictly increasing keys, so once the smallest
+  // still-required dimension is behind a child's key range, that branch
+  // can never satisfy the requirement.
+  if (required.empty()) {
+    CollectSubtree(node, out, nodes_visited);
+    return;
+  }
+  if (nodes_visited != nullptr) ++*nodes_visited;
+  const Dim next_required = required.Lowest();
+  for (const auto& [dim, child] : node.children) {
+    if (dim > next_required) break;  // children sorted; deeper keys only grow
+    if (dim < next_required) {
+      QuerySupersetPaths(*child, required, out, nodes_visited);
+    } else {
+      Subspace rest = required;
+      rest.Remove(dim);
+      QuerySupersetPaths(*child, rest, out, nodes_visited);
+    }
+  }
+}
+
+void SubsetIndex::QueryContained(Subspace subspace, std::vector<PointId>* out,
+                                 std::uint64_t* nodes_visited) const {
+  QuerySupersetPaths(root_, subspace.Complement(num_dims_), out,
+                     nodes_visited);
+}
+
+bool SubsetIndex::Remove(PointId id, Subspace subspace) {
+  Node* node = &root_;
+  bool found_path = true;
+  subspace.Complement(num_dims_).ForEachDim([&](Dim dim) {
+    if (!found_path) return;
+    auto it = std::lower_bound(
+        node->children.begin(), node->children.end(), dim,
+        [](const auto& entry, Dim key) { return entry.first < key; });
+    if (it == node->children.end() || it->first != dim) {
+      found_path = false;
+      return;
+    }
+    node = it->second.get();
+  });
+  if (!found_path) return false;
+  auto it = std::find(node->points.begin(), node->points.end(), id);
+  if (it == node->points.end()) return false;
+  *it = node->points.back();
+  node->points.pop_back();
+  --num_points_;
+  return true;
+}
+
+}  // namespace skyline

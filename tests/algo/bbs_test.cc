@@ -1,0 +1,72 @@
+#include "src/algo/bbs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(BbsTest, Name) {
+  EXPECT_EQ(Bbs().name(), "bbs");
+}
+
+TEST(BbsTest, CorrectAcrossTypesAndLeafSizes) {
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 800, 4, 5);
+    const auto expected = ReferenceSkyline(data);
+    for (std::size_t leaf : {1u, 8u, 64u, 4096u}) {
+      AlgorithmOptions options;
+      options.partition_leaf_size = leaf;
+      EXPECT_TRUE(SameIdSet(Bbs(options).Compute(data), expected))
+          << ShortName(type) << " leaf=" << leaf;
+    }
+  }
+}
+
+TEST(BbsTest, ProgressiveOutputInAscendingSumOrder) {
+  // BBS is the classic *progressive* algorithm: skyline points pop in
+  // ascending mindist (sum) order.
+  Dataset data = Generate(DataType::kUniformIndependent, 500, 3, 9);
+  auto result = Bbs().Compute(data);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    Value prev = 0, cur = 0;
+    for (Dim k = 0; k < 3; ++k) {
+      prev += data.at(result[i - 1], k);
+      cur += data.at(result[i], k);
+    }
+    EXPECT_LE(prev, cur);
+  }
+}
+
+TEST(BbsTest, NodePruningReducesWorkOnCorrelatedData) {
+  // On CO data nearly the whole tree hangs off dominated corners: BBS
+  // must do far less than one pass of skyline tests per point.
+  Dataset data = Generate(DataType::kCorrelated, 20000, 6, 3);
+  SkylineStats stats;
+  auto result = Bbs().Compute(data, &stats);
+  EXPECT_TRUE(IsSkylineOf(data, result));
+  EXPECT_LT(stats.MeanDominanceTests(data.num_points()), 1.0);
+}
+
+TEST(BbsTest, DuplicateSkylinePointsSurvive) {
+  Dataset data = Dataset::FromRows({
+      {1, 1}, {1, 1}, {1, 1},  // duplicated minimum
+      {2, 3}, {0.5, 4},
+  });
+  EXPECT_TRUE(IsSkylineOf(data, Bbs().Compute(data)));
+  EXPECT_EQ(Bbs().Compute(data).size(), 4u);
+}
+
+TEST(BbsTest, NegativeValues) {
+  Dataset base = Generate(DataType::kUniformIndependent, 400, 4, 2);
+  std::vector<Value> values = base.values();
+  for (Value& v : values) v -= Value{0.5};
+  Dataset data(4, std::move(values));
+  EXPECT_TRUE(IsSkylineOf(data, Bbs().Compute(data)));
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,122 @@
+#include "src/algo/bskytree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algo/pivot.h"
+#include "src/algo/sfs.h"
+#include "src/core/dominance.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(PivotTest, LatticeMaskDefinition) {
+  const Value pivot[] = {2, 2, 2};
+  const Value p[] = {1, 2, 3};
+  // bit i set iff pivot[i] <= p[i].
+  EXPECT_EQ(LatticeMask(p, pivot, 3), (Subspace{1, 2}));
+  EXPECT_EQ(LatticeMask(pivot, pivot, 3), Subspace::Full(3));
+}
+
+TEST(PivotTest, SelectedPivotIsSkylinePoint) {
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    Dataset data = Generate(DataType::kUniformIndependent, 400, 4, seed);
+    std::vector<PointId> ids(data.num_points());
+    for (PointId i = 0; i < data.num_points(); ++i) ids[i] = i;
+    const PointId pivot = SelectBalancedPivot(data, ids);
+    for (PointId q = 0; q < data.num_points(); ++q) {
+      ASSERT_FALSE(Dominates(data.row(q), data.row(pivot), 4))
+          << "pivot " << pivot << " dominated by " << q;
+    }
+  }
+}
+
+TEST(PivotTest, ConstantDimensionsHandled) {
+  Dataset data = Dataset::FromRows({{1, 7, 3}, {1, 7, 2}, {1, 7, 9}});
+  const PointId pivot = SelectBalancedPivot(data, {0, 1, 2});
+  EXPECT_EQ(pivot, 1u);  // only non-constant dim decides
+}
+
+TEST(PivotTest, MaskSubsetPropertyUnderDominance) {
+  // q < p implies B(q) ⊆ B(p) — the incomparability-skip soundness.
+  Dataset data = Generate(DataType::kUniformIndependent, 300, 5, 4);
+  std::vector<PointId> ids(data.num_points());
+  for (PointId i = 0; i < data.num_points(); ++i) ids[i] = i;
+  const PointId pivot = SelectBalancedPivot(data, ids);
+  const Value* pivot_row = data.row(pivot);
+  for (PointId a = 0; a < data.num_points(); ++a) {
+    for (PointId b = 0; b < data.num_points(); ++b) {
+      if (a == b || !Dominates(data.row(a), data.row(b), 5)) continue;
+      ASSERT_TRUE(LatticeMask(data.row(a), pivot_row, 5)
+                      .IsSubsetOf(LatticeMask(data.row(b), pivot_row, 5)));
+    }
+  }
+}
+
+TEST(BSkyTreeTest, Names) {
+  EXPECT_EQ(BSkyTreeS().name(), "bskytree-s");
+  EXPECT_EQ(BSkyTreeP().name(), "bskytree-p");
+}
+
+TEST(BSkyTreeTest, BothVariantsMatchReference) {
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 800, 6, 33);
+    const auto expected = ReferenceSkyline(data);
+    EXPECT_TRUE(SameIdSet(BSkyTreeS().Compute(data), expected))
+        << "S " << ShortName(type);
+    EXPECT_TRUE(SameIdSet(BSkyTreeP().Compute(data), expected))
+        << "P " << ShortName(type);
+  }
+}
+
+TEST(BSkyTreeTest, PivotDuplicatesSurvive) {
+  Dataset data = Dataset::FromRows({
+      {1, 1}, {1, 1}, {1, 1},  // pivot + duplicates
+      {2, 3}, {3, 2}, {0.5, 4},
+  });
+  auto s = BSkyTreeS().Compute(data);
+  auto p = BSkyTreeP().Compute(data);
+  EXPECT_TRUE(IsSkylineOf(data, s));
+  EXPECT_TRUE(IsSkylineOf(data, p));
+}
+
+TEST(BSkyTreeTest, SReportsSkippedTests) {
+  Dataset data = Generate(DataType::kUniformIndependent, 2000, 6, 8);
+  SkylineStats stats;
+  auto result = BSkyTreeS().Compute(data, &stats);
+  EXPECT_TRUE(IsSkylineOf(data, result));
+  EXPECT_GT(stats.tests_skipped, 0u)
+      << "incomparable-region skips should occur on UI data";
+}
+
+TEST(BSkyTreeTest, SBeatsSfsInDominanceTestsOnUniformData) {
+  Dataset data = Generate(DataType::kUniformIndependent, 4000, 8, 10);
+  SkylineStats s_stats, sfs_stats;
+  auto s_result = BSkyTreeS().Compute(data, &s_stats);
+  auto sfs_result = Sfs().Compute(data, &sfs_stats);
+  EXPECT_TRUE(SameIdSet(s_result, sfs_result));
+  EXPECT_LT(s_stats.dominance_tests, sfs_stats.dominance_tests);
+}
+
+TEST(BSkyTreeTest, PLeafSizeDoesNotChangeResult) {
+  Dataset data = Generate(DataType::kAntiCorrelated, 600, 5, 12);
+  const auto expected = ReferenceSkyline(data);
+  for (std::size_t leaf : {1u, 16u, 128u, 4096u}) {
+    AlgorithmOptions options;
+    options.partition_leaf_size = leaf;
+    EXPECT_TRUE(SameIdSet(BSkyTreeP(options).Compute(data), expected))
+        << "leaf=" << leaf;
+  }
+}
+
+TEST(BSkyTreeTest, HighDimensional) {
+  Dataset data = Generate(DataType::kUniformIndependent, 250, 18, 3);
+  const auto expected = ReferenceSkyline(data);
+  EXPECT_TRUE(SameIdSet(BSkyTreeS().Compute(data), expected));
+  EXPECT_TRUE(SameIdSet(BSkyTreeP().Compute(data), expected));
+}
+
+}  // namespace
+}  // namespace skyline

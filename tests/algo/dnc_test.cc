@@ -1,0 +1,64 @@
+#include "src/algo/dnc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(DncTest, Name) {
+  EXPECT_EQ(DivideAndConquer().name(), "dnc");
+}
+
+TEST(DncTest, CorrectAcrossLeafSizes) {
+  Dataset data = Generate(DataType::kUniformIndependent, 500, 4, 6);
+  const auto expected = ReferenceSkyline(data);
+  for (std::size_t leaf : {1u, 2u, 8u, 64u, 1000u}) {
+    AlgorithmOptions options;
+    options.partition_leaf_size = leaf;
+    EXPECT_TRUE(SameIdSet(DivideAndConquer(options).Compute(data), expected))
+        << "leaf=" << leaf;
+  }
+}
+
+TEST(DncTest, ConstantDimensionFallsBackToNextSplit) {
+  // Dimension 0 constant: the median split must rotate to dimension 1.
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({1.0, static_cast<Value>(i % 17),
+                    static_cast<Value>((i * 7) % 13)});
+  }
+  Dataset data = Dataset::FromRows(rows);
+  AlgorithmOptions options;
+  options.partition_leaf_size = 4;
+  EXPECT_TRUE(IsSkylineOf(data, DivideAndConquer(options).Compute(data)));
+}
+
+TEST(DncTest, AllDuplicateRegionReturnsEverything) {
+  std::vector<std::vector<Value>> rows(100, {2.0, 3.0});
+  Dataset data = Dataset::FromRows(rows);
+  AlgorithmOptions options;
+  options.partition_leaf_size = 4;
+  EXPECT_EQ(DivideAndConquer(options).Compute(data).size(), 100u);
+}
+
+TEST(DncTest, SkewedDuplicateHeavyData) {
+  // Half the points identical, rest scattered: stresses median splitting
+  // with massive ties.
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 150; ++i) rows.push_back({5, 5, 5});
+  Dataset scatter = Generate(DataType::kUniformIndependent, 150, 3, 9);
+  for (PointId p = 0; p < scatter.num_points(); ++p) {
+    rows.push_back({scatter.at(p, 0) * 10, scatter.at(p, 1) * 10,
+                    scatter.at(p, 2) * 10});
+  }
+  Dataset data = Dataset::FromRows(rows);
+  AlgorithmOptions options;
+  options.partition_leaf_size = 8;
+  EXPECT_TRUE(IsSkylineOf(data, DivideAndConquer(options).Compute(data)));
+}
+
+}  // namespace
+}  // namespace skyline

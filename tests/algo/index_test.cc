@@ -1,0 +1,58 @@
+#include "src/algo/index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algo/sfs.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(IndexSkylineTest, Name) {
+  EXPECT_EQ(IndexSkyline().name(), "index");
+}
+
+TEST(IndexSkylineTest, CorrectAcrossTypes) {
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 700, 5, 31);
+    EXPECT_TRUE(IsSkylineOf(data, IndexSkyline().Compute(data)))
+        << ShortName(type);
+  }
+}
+
+TEST(IndexSkylineTest, EqualMinCTieAcrossLists) {
+  // A dominator sharing the dominatee's minC but living in a different
+  // list: the (minC, sum) global pop order must still put it first.
+  Dataset data = Dataset::FromRows({
+      {1.0, 3.0},  // list 0, minC 1, sum 4
+      {3.0, 1.0},  // list 1, minC 1, sum 4 — incomparable with 0
+      {1.0, 2.0},  // list 0, minC 1, sum 3 — dominates point 0
+  });
+  EXPECT_TRUE(SameIdSet(IndexSkyline().Compute(data), {1, 2}));
+}
+
+TEST(IndexSkylineTest, EarlyTerminationOnCorrelatedData) {
+  Dataset data = Generate(DataType::kCorrelated, 20000, 8, 3);
+  SkylineStats stats;
+  auto result = IndexSkyline().Compute(data, &stats);
+  EXPECT_TRUE(IsSkylineOf(data, result));
+  EXPECT_LT(stats.MeanDominanceTests(data.num_points()), 1.0);
+}
+
+TEST(IndexSkylineTest, MatchesSfsExactly) {
+  Dataset data = Generate(DataType::kUniformIndependent, 1200, 6, 17);
+  EXPECT_TRUE(
+      SameIdSet(IndexSkyline().Compute(data), Sfs().Compute(data)));
+}
+
+TEST(IndexSkylineTest, AllPointsInOneList) {
+  // Every point's minimum lives in dimension 0.
+  Dataset data = Dataset::FromRows(
+      {{0.1, 5, 5}, {0.2, 6, 4}, {0.3, 3, 3}, {0.05, 9, 9}});
+  EXPECT_TRUE(IsSkylineOf(data, IndexSkyline().Compute(data)));
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,89 @@
+#include "src/algo/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(RTreeTest, EmptyDataset) {
+  Dataset data(3);
+  RTree tree = RTree::BulkLoad(data);
+  EXPECT_EQ(tree.root(), nullptr);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  EXPECT_EQ(tree.height(), 0u);
+}
+
+TEST(RTreeTest, SingleLeafForSmallData) {
+  Dataset data = Generate(DataType::kUniformIndependent, 20, 3, 1);
+  RTree tree = RTree::BulkLoad(data, /*leaf_capacity=*/32);
+  ASSERT_NE(tree.root(), nullptr);
+  EXPECT_TRUE(tree.root()->IsLeaf());
+  EXPECT_EQ(tree.root()->points.size(), 20u);
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+/// Walks the tree, checking structural invariants and collecting ids.
+void Validate(const Dataset& data, const RTree::Node& node,
+              std::vector<PointId>* collected) {
+  const Dim d = data.num_dims();
+  for (Dim i = 0; i < d; ++i) {
+    ASSERT_LE(node.mbr.lo[i], node.mbr.hi[i]);
+  }
+  if (node.IsLeaf()) {
+    ASSERT_FALSE(node.points.empty());
+    for (PointId p : node.points) {
+      collected->push_back(p);
+      for (Dim i = 0; i < d; ++i) {
+        ASSERT_GE(data.at(p, i), node.mbr.lo[i]);
+        ASSERT_LE(data.at(p, i), node.mbr.hi[i]);
+      }
+    }
+  } else {
+    ASSERT_TRUE(node.points.empty());
+    for (const auto& child : node.children) {
+      for (Dim i = 0; i < d; ++i) {
+        ASSERT_GE(child->mbr.lo[i], node.mbr.lo[i]);
+        ASSERT_LE(child->mbr.hi[i], node.mbr.hi[i]);
+      }
+      Validate(data, *child, collected);
+    }
+  }
+}
+
+TEST(RTreeTest, InvariantsAndFullCoverage) {
+  for (std::size_t leaf : {1u, 4u, 32u}) {
+    Dataset data = Generate(DataType::kAntiCorrelated, 1000, 4, 7);
+    RTree tree = RTree::BulkLoad(data, leaf, /*fanout=*/4);
+    ASSERT_NE(tree.root(), nullptr);
+    std::vector<PointId> collected;
+    Validate(data, *tree.root(), &collected);
+    std::sort(collected.begin(), collected.end());
+    ASSERT_EQ(collected.size(), data.num_points()) << "leaf=" << leaf;
+    for (PointId p = 0; p < data.num_points(); ++p) {
+      ASSERT_EQ(collected[p], p);
+    }
+  }
+}
+
+TEST(RTreeTest, HeightShrinksWithFanout) {
+  Dataset data = Generate(DataType::kUniformIndependent, 5000, 3, 3);
+  RTree narrow = RTree::BulkLoad(data, 8, 2);
+  RTree wide = RTree::BulkLoad(data, 8, 16);
+  EXPECT_GT(narrow.height(), wide.height());
+}
+
+TEST(RTreeTest, DuplicatePointsAllStored) {
+  std::vector<std::vector<Value>> rows(100, {1.0, 2.0});
+  Dataset data = Dataset::FromRows(rows);
+  RTree tree = RTree::BulkLoad(data, 8, 4);
+  std::vector<PointId> collected;
+  Validate(data, *tree.root(), &collected);
+  EXPECT_EQ(collected.size(), 100u);
+}
+
+}  // namespace
+}  // namespace skyline

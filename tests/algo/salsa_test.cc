@@ -1,0 +1,76 @@
+#include "src/algo/salsa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algo/sfs.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(SalsaTest, Name) {
+  EXPECT_EQ(Salsa().name(), "salsa");
+}
+
+TEST(SalsaTest, CorrectOnMixedData) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Dataset data = Generate(DataType::kUniformIndependent, 600, 4, seed);
+    EXPECT_TRUE(IsSkylineOf(data, Salsa().Compute(data)));
+  }
+}
+
+TEST(SalsaTest, EarlyStopTriggersOnCorrelatedData) {
+  // On CO data one skyline point near the origin ends the scan almost
+  // immediately: far fewer tests than SFS, and in particular fewer than
+  // one test per point (the paper's Tables 6/8 show DT << 1).
+  Dataset data = Generate(DataType::kCorrelated, 20000, 8, 3);
+  SkylineStats salsa_stats, sfs_stats;
+  auto salsa_result = Salsa().Compute(data, &salsa_stats);
+  auto sfs_result = Sfs().Compute(data, &sfs_stats);
+  EXPECT_TRUE(SameIdSet(salsa_result, sfs_result));
+  EXPECT_LT(salsa_stats.dominance_tests, sfs_stats.dominance_tests);
+  EXPECT_LT(salsa_stats.MeanDominanceTests(data.num_points()), 1.0);
+}
+
+TEST(SalsaTest, StopPointDoesNotCutSkylinePoints) {
+  // Crafted so that a skyline point sits exactly at the stop boundary:
+  // stop value = max coord of (2,2) = 2; the point (2,0.5) has
+  // min coord 0.5 < 2 and must still be examined; (3,2.5) must be cut.
+  Dataset data = Dataset::FromRows({
+      {2.0, 2.0},
+      {0.5, 3.0},
+      {2.0, 0.5},
+      {3.0, 2.5},
+      {2.5, 3.5},
+  });
+  EXPECT_TRUE(IsSkylineOf(data, Salsa().Compute(data)));
+}
+
+TEST(SalsaTest, BoundaryEqualityIsNotCut) {
+  // A remaining point whose min coordinate *equals* the stop value may
+  // be incomparable (ties are not strict dominance) — it must be kept.
+  Dataset data = Dataset::FromRows({
+      {1.0, 1.0},  // skyline; stop value becomes 1
+      {1.0, 2.0},  // min coord 1 == stop value; dominated, fine
+      {2.0, 1.0},  // min coord 1 == stop value; dominated, fine
+      {1.0, 0.5},  // min coord 0.5; skyline
+  });
+  EXPECT_TRUE(IsSkylineOf(data, Salsa().Compute(data)));
+}
+
+TEST(SalsaTest, AllEqualPointsAtStopBoundary) {
+  Dataset data = Dataset::FromRows({{2, 2}, {2, 2}, {2, 2}});
+  EXPECT_EQ(Salsa().Compute(data).size(), 3u);
+}
+
+TEST(SalsaTest, StatsSkylineSizeMatches) {
+  Dataset data = Generate(DataType::kAntiCorrelated, 400, 3, 4);
+  SkylineStats stats;
+  auto result = Salsa().Compute(data, &stats);
+  EXPECT_EQ(stats.skyline_size, result.size());
+  EXPECT_TRUE(IsSkylineOf(data, result));
+}
+
+}  // namespace
+}  // namespace skyline

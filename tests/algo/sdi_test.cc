@@ -1,0 +1,83 @@
+#include "src/algo/sdi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algo/sfs.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(SdiTest, Name) {
+  EXPECT_EQ(Sdi().name(), "sdi");
+}
+
+TEST(SdiTest, CorrectAcrossTypes) {
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 700, 5, 21);
+    EXPECT_TRUE(IsSkylineOf(data, Sdi().Compute(data)))
+        << ShortName(type);
+  }
+}
+
+TEST(SdiTest, StopPointEndsScanEarlyOnCorrelatedData) {
+  Dataset data = Generate(DataType::kCorrelated, 20000, 8, 3);
+  SkylineStats stats;
+  auto result = Sdi().Compute(data, &stats);
+  EXPECT_TRUE(IsSkylineOf(data, result));
+  // The defining SDI behaviour on CO data: far less than one dominance
+  // test per point thanks to the per-dimension stop frontier.
+  EXPECT_LT(stats.MeanDominanceTests(data.num_points()), 1.0);
+}
+
+TEST(SdiTest, TieBlocksWithDuplicateDimensionValues) {
+  // Dimension 0 is constant: every point lives in one big tie block, so
+  // correctness hinges entirely on the SFS-like local tests.
+  Dataset data = Dataset::FromRows({
+      {1, 5, 3},
+      {1, 4, 4},
+      {1, 5, 4},  // dominated by (1,5,3)? no: equal d0/d1, worse d2 -> yes
+      {1, 6, 2},
+      {1, 4, 5},  // dominated by (1,4,4)
+      {1, 3, 9},
+  });
+  EXPECT_TRUE(IsSkylineOf(data, Sdi().Compute(data)));
+}
+
+TEST(SdiTest, DuplicatePointsInTieBlocks) {
+  Dataset data = Dataset::FromRows({
+      {2, 2}, {2, 2}, {1, 3}, {3, 1}, {1, 3}, {2, 3}, {3, 2},
+  });
+  EXPECT_TRUE(IsSkylineOf(data, Sdi().Compute(data)));
+}
+
+TEST(SdiTest, HighDimensionalCorrectness) {
+  Dataset data = Generate(DataType::kUniformIndependent, 300, 20, 2);
+  EXPECT_TRUE(IsSkylineOf(data, Sdi().Compute(data)));
+}
+
+TEST(SdiTest, MatchesSfsSkylineExactly) {
+  Dataset data = Generate(DataType::kAntiCorrelated, 900, 6, 13);
+  EXPECT_TRUE(SameIdSet(Sdi().Compute(data), Sfs().Compute(data)));
+}
+
+TEST(SdiTest, DistributesFewerTestsThanSfsOnUniformData) {
+  // SDI's raison d'être (its own paper targets high-d domains): fewer
+  // dominance tests than a plain sorted scan on UI data.
+  Dataset data = Generate(DataType::kUniformIndependent, 5000, 8, 17);
+  SkylineStats sdi_stats, sfs_stats;
+  auto sdi_result = Sdi().Compute(data, &sdi_stats);
+  auto sfs_result = Sfs().Compute(data, &sfs_stats);
+  EXPECT_TRUE(SameIdSet(sdi_result, sfs_result));
+  EXPECT_LT(sdi_stats.dominance_tests, sfs_stats.dominance_tests);
+}
+
+TEST(SdiTest, SingleDimension) {
+  Dataset data = Dataset::FromRows({{3}, {1}, {2}, {1}});
+  EXPECT_TRUE(SameIdSet(Sdi().Compute(data), {1, 3}));
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,68 @@
+#include "src/algo/sfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algo/bnl.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(SfsTest, Name) {
+  EXPECT_EQ(Sfs().name(), "sfs");
+}
+
+TEST(SfsTest, MatchesReferenceOnHotelExample) {
+  Dataset data = Dataset::FromRows(
+      {{1, 9}, {2, 8}, {3, 8.5}, {5, 4}, {6, 5}, {9, 1}});
+  EXPECT_TRUE(SameIdSet(Sfs().Compute(data), {0, 1, 3, 5}));
+}
+
+TEST(SfsTest, EntropySortProducesSameSkyline) {
+  Dataset data = Generate(DataType::kAntiCorrelated, 500, 5, 3);
+  AlgorithmOptions entropy;
+  entropy.sort = ScoreFunction::kEntropy;
+  AlgorithmOptions euclid;
+  euclid.sort = ScoreFunction::kEuclidean;
+  const auto by_sum = Sfs().Compute(data);
+  EXPECT_TRUE(SameIdSet(Sfs(entropy).Compute(data), by_sum));
+  EXPECT_TRUE(SameIdSet(Sfs(euclid).Compute(data), by_sum));
+  EXPECT_TRUE(IsSkylineOf(data, by_sum));
+}
+
+TEST(SfsTest, NeverTestsMoreThanSkylineSizePerPoint) {
+  // SFS tests each point only against accepted skyline points: total
+  // tests <= N * |skyline|.
+  Dataset data = Generate(DataType::kUniformIndependent, 1000, 4, 5);
+  SkylineStats stats;
+  auto result = Sfs().Compute(data, &stats);
+  EXPECT_LE(stats.dominance_tests, data.num_points() * result.size());
+}
+
+TEST(SfsTest, FewerTestsThanBnlOnAntiCorrelated) {
+  // Presorting pays off where the window churns: AC data.
+  Dataset data = Generate(DataType::kAntiCorrelated, 800, 4, 5);
+  SkylineStats sfs_stats, bnl_stats;
+  auto sfs_result = Sfs().Compute(data, &sfs_stats);
+  auto bnl_result = Bnl().Compute(data, &bnl_stats);
+  EXPECT_TRUE(SameIdSet(sfs_result, bnl_result));
+  EXPECT_LT(sfs_stats.dominance_tests, bnl_stats.dominance_tests);
+}
+
+TEST(SfsTest, ProgressiveOrderIsMonotoneInScore) {
+  // SFS outputs skyline points in sorted-score order (progressiveness).
+  Dataset data = Generate(DataType::kUniformIndependent, 300, 3, 8);
+  auto result = Sfs().Compute(data);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    Value prev = 0, cur = 0;
+    for (Dim k = 0; k < 3; ++k) {
+      prev += data.at(result[i - 1], k);
+      cur += data.at(result[i], k);
+    }
+    EXPECT_LE(prev, cur);
+  }
+}
+
+}  // namespace
+}  // namespace skyline

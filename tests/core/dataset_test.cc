@@ -1,0 +1,70 @@
+#include "src/core/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace skyline {
+namespace {
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset data(3);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.num_points(), 0u);
+  EXPECT_EQ(data.num_dims(), 3u);
+}
+
+TEST(DatasetTest, FromRowsInitializerList) {
+  Dataset data = Dataset::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(data.num_points(), 3u);
+  EXPECT_EQ(data.num_dims(), 2u);
+  EXPECT_EQ(data.at(0, 0), 1.0);
+  EXPECT_EQ(data.at(0, 1), 2.0);
+  EXPECT_EQ(data.at(2, 1), 6.0);
+}
+
+TEST(DatasetTest, FromRowsVector) {
+  std::vector<std::vector<Value>> rows = {{0.5, 0.25, 0.125}, {1, 2, 3}};
+  Dataset data = Dataset::FromRows(rows);
+  EXPECT_EQ(data.num_points(), 2u);
+  EXPECT_EQ(data.num_dims(), 3u);
+  EXPECT_EQ(data.at(1, 2), 3.0);
+}
+
+TEST(DatasetTest, RowMajorConstructor) {
+  Dataset data(2, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(data.num_points(), 3u);
+  EXPECT_EQ(data.at(1, 0), 3.0);
+  EXPECT_EQ(data.at(2, 1), 6.0);
+}
+
+TEST(DatasetTest, AppendGrowsPointCount) {
+  Dataset data(2);
+  const Value row1[] = {1.0, 2.0};
+  const Value row2[] = {3.0, 4.0};
+  data.Append(row1);
+  data.Append(row2);
+  EXPECT_EQ(data.num_points(), 2u);
+  EXPECT_EQ(data.at(1, 1), 4.0);
+}
+
+TEST(DatasetTest, RowPointerMatchesAt) {
+  Dataset data = Dataset::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Value* row = data.row(1);
+  EXPECT_EQ(row[0], 4.0);
+  EXPECT_EQ(row[2], 6.0);
+  auto span = data.point(0);
+  EXPECT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[1], 2.0);
+}
+
+TEST(DatasetTest, PointToString) {
+  Dataset data = Dataset::FromRows({{0.25, 1.0}});
+  EXPECT_EQ(data.PointToString(0), "(0.25, 1)");
+}
+
+TEST(DatasetTest, ValuesExposesRowMajorStorage) {
+  Dataset data = Dataset::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(data.values(), (std::vector<Value>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace skyline

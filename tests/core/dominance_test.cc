@@ -1,0 +1,157 @@
+#include "src/core/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace skyline {
+namespace {
+
+TEST(DominanceTest, StrictDominance) {
+  const Value a[] = {1, 2, 3};
+  const Value b[] = {2, 3, 4};
+  EXPECT_TRUE(Dominates(a, b, 3));
+  EXPECT_FALSE(Dominates(b, a, 3));
+}
+
+TEST(DominanceTest, DominanceNeedsOnlyOneStrictDimension) {
+  const Value a[] = {1, 2, 3};
+  const Value b[] = {1, 2, 4};
+  EXPECT_TRUE(Dominates(a, b, 3));
+  EXPECT_FALSE(Dominates(b, a, 3));
+}
+
+TEST(DominanceTest, EqualPointsDoNotDominateEachOther) {
+  const Value a[] = {1, 2, 3};
+  const Value b[] = {1, 2, 3};
+  EXPECT_FALSE(Dominates(a, b, 3));
+  EXPECT_FALSE(Dominates(b, a, 3));
+  EXPECT_TRUE(DominatesOrEqual(a, b, 3));
+  EXPECT_TRUE(DominatesOrEqual(b, a, 3));
+}
+
+TEST(DominanceTest, IncomparablePoints) {
+  const Value a[] = {1, 5};
+  const Value b[] = {2, 4};
+  EXPECT_FALSE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+  EXPECT_EQ(Compare(a, b, 2), DominanceRelation::kIncomparable);
+}
+
+TEST(DominanceTest, CompareClassifiesAllFourCases) {
+  const Value a[] = {1, 2};
+  const Value b[] = {2, 3};
+  const Value c[] = {1, 2};
+  const Value d[] = {0, 9};
+  EXPECT_EQ(Compare(a, b, 2), DominanceRelation::kFirstDominates);
+  EXPECT_EQ(Compare(b, a, 2), DominanceRelation::kSecondDominates);
+  EXPECT_EQ(Compare(a, c, 2), DominanceRelation::kEqual);
+  EXPECT_EQ(Compare(a, d, 2), DominanceRelation::kIncomparable);
+}
+
+TEST(DominanceTest, OneDimensional) {
+  const Value a[] = {1};
+  const Value b[] = {2};
+  EXPECT_TRUE(Dominates(a, b, 1));
+  EXPECT_EQ(Compare(a, a, 1), DominanceRelation::kEqual);
+}
+
+TEST(DominanceTest, DominatingSubspaceDefinition) {
+  // D_{q<p} = dims where q strictly better than p (Definition 3.4).
+  const Value q[] = {1, 5, 2, 7};
+  const Value p[] = {3, 5, 1, 9};
+  Subspace s = DominatingSubspace(q, p, 4);
+  EXPECT_EQ(s, (Subspace{0, 3}));
+}
+
+TEST(DominanceTest, EmptyDominatingSubspaceMeansWeaklyDominated) {
+  const Value q[] = {3, 5};
+  const Value p[] = {2, 5};
+  EXPECT_TRUE(DominatingSubspace(q, p, 2).empty());
+  EXPECT_TRUE(DominatesOrEqual(p, q, 2));
+}
+
+TEST(DominanceTest, FullDominatingSubspaceMeansStrictEverywhere) {
+  const Value q[] = {1, 1};
+  const Value p[] = {2, 3};
+  EXPECT_EQ(DominatingSubspace(q, p, 2), Subspace::Full(2));
+  EXPECT_TRUE(Dominates(q, p, 2));
+}
+
+TEST(DominanceTest, DominatingSubspaceExReportsWorseDimensions) {
+  const Value q[] = {1, 5, 2};
+  const Value p[] = {3, 5, 1};
+  bool worse = false;
+  EXPECT_EQ(DominatingSubspaceEx(q, p, 3, &worse), Subspace{0});
+  EXPECT_TRUE(worse);  // q[2] > p[2]
+  const Value r[] = {3, 5, 1};
+  EXPECT_TRUE(DominatingSubspaceEx(r, p, 3, &worse).empty());
+  EXPECT_FALSE(worse);  // r == p
+  const Value s[] = {4, 5, 1};
+  EXPECT_TRUE(DominatingSubspaceEx(s, p, 3, &worse).empty());
+  EXPECT_TRUE(worse);  // p dominates s
+}
+
+TEST(DominanceTest, ToStringNames) {
+  EXPECT_STREQ(ToString(DominanceRelation::kEqual), "equal");
+  EXPECT_STREQ(ToString(DominanceRelation::kIncomparable), "incomparable");
+}
+
+TEST(DominanceTesterTest, CountsEveryCall) {
+  Dataset data = Dataset::FromRows({{1, 2}, {2, 3}, {0, 5}});
+  DominanceTester tester(data);
+  EXPECT_TRUE(tester.Dominates(0, 1));
+  EXPECT_FALSE(tester.Dominates(0, 2));
+  tester.Compare(1, 2);
+  tester.DominatingSubspace(2, 0);
+  tester.DominatesOrEqual(0, 0);
+  EXPECT_EQ(tester.tests(), 5u);
+}
+
+TEST(DominanceTesterTest, MatchesRawKernels) {
+  Dataset data = Dataset::FromRows({{1, 2, 3}, {1, 2, 4}});
+  DominanceTester tester(data);
+  EXPECT_EQ(tester.Dominates(0, 1), Dominates(data.row(0), data.row(1), 3));
+  EXPECT_EQ(tester.Compare(0, 1), Compare(data.row(0), data.row(1), 3));
+  EXPECT_EQ(tester.DominatingSubspace(1, 0),
+            DominatingSubspace(data.row(1), data.row(0), 3));
+}
+
+// Randomized cross-check: Compare agrees with the two Dominates calls,
+// and the dominating subspace characterizes dominance as in Section 3.
+class DominanceRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominanceRandomTest, CompareConsistentWithDominates) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> value(0, 4);  // small domain: many ties
+  for (int iter = 0; iter < 500; ++iter) {
+    const Dim d = 1 + static_cast<Dim>(rng() % 8);
+    std::vector<Value> a(d), b(d);
+    for (Dim i = 0; i < d; ++i) {
+      a[i] = value(rng);
+      b[i] = value(rng);
+    }
+    const bool ab = Dominates(a.data(), b.data(), d);
+    const bool ba = Dominates(b.data(), a.data(), d);
+    EXPECT_FALSE(ab && ba) << "dominance must be asymmetric";
+    const DominanceRelation rel = Compare(a.data(), b.data(), d);
+    if (ab) EXPECT_EQ(rel, DominanceRelation::kFirstDominates);
+    if (ba) EXPECT_EQ(rel, DominanceRelation::kSecondDominates);
+    if (!ab && !ba) {
+      EXPECT_TRUE(rel == DominanceRelation::kEqual ||
+                  rel == DominanceRelation::kIncomparable);
+    }
+    // a < b  <=>  D_{b<a} empty and a != b.
+    const Subspace d_b_a = DominatingSubspace(b.data(), a.data(), d);
+    EXPECT_EQ(ab, d_b_a.empty() && rel != DominanceRelation::kEqual);
+    // D_{a<b} and D_{b<a} are disjoint.
+    const Subspace d_a_b = DominatingSubspace(a.data(), b.data(), d);
+    EXPECT_TRUE(d_a_b.Intersection(d_b_a).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceRandomTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,115 @@
+#include "src/core/scores.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/core/dominance.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(ScoresTest, SumScore) {
+  const Value p[] = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(ScorePoint(p, 3, ScoreFunction::kSum), 6.0);
+}
+
+TEST(ScoresTest, EntropyScore) {
+  const Value p[] = {0, 1};
+  EXPECT_DOUBLE_EQ(ScorePoint(p, 2, ScoreFunction::kEntropy), std::log(2.0));
+}
+
+TEST(ScoresTest, MinCoordinateScore) {
+  const Value p[] = {0.7, 0.2, 0.5};
+  EXPECT_DOUBLE_EQ(ScorePoint(p, 3, ScoreFunction::kMinCoordinate), 0.2);
+}
+
+TEST(ScoresTest, EuclideanScoreIsSquaredDistance) {
+  const Value p[] = {3, 4};
+  EXPECT_DOUBLE_EQ(ScorePoint(p, 2, ScoreFunction::kEuclidean), 25.0);
+}
+
+TEST(ScoresTest, ComputeScoresCoversAllPoints) {
+  Dataset data = Dataset::FromRows({{1, 1}, {2, 0}, {0, 0}});
+  auto scores = ComputeScores(data, ScoreFunction::kSum);
+  EXPECT_EQ(scores, (std::vector<Value>{2, 2, 0}));
+}
+
+TEST(ScoresTest, SortedByScoreOrdersAscending) {
+  Dataset data = Dataset::FromRows({{5, 5}, {0, 1}, {2, 2}});
+  auto order = SortedByScore(data, ScoreFunction::kSum);
+  EXPECT_EQ(order, (std::vector<PointId>{1, 2, 0}));
+}
+
+TEST(ScoresTest, SortedByScoreBreaksMinCoordinateTiesBySum) {
+  // Both points have minC = 0, but the first dominates the second; the
+  // sum tie-break must put the dominator first.
+  Dataset data = Dataset::FromRows({{0, 5}, {0, 1}});
+  auto order = SortedByScore(data, ScoreFunction::kMinCoordinate);
+  EXPECT_EQ(order, (std::vector<PointId>{1, 0}));
+}
+
+TEST(ScoresTest, ArgMinScoreFindsMinimum) {
+  Dataset data = Dataset::FromRows({{2, 2}, {1, 1}, {3, 0}});
+  EXPECT_EQ(ArgMinScore(data, ScoreFunction::kSum), 1u);
+  EXPECT_EQ(ArgMinScore(data, ScoreFunction::kEuclidean), 1u);
+}
+
+TEST(ScoresTest, ArgMinScoreEmptyDataset) {
+  Dataset data(2);
+  EXPECT_EQ(ArgMinScore(data, ScoreFunction::kSum), kInvalidPoint);
+}
+
+TEST(ScoresTest, ToStringNames) {
+  EXPECT_EQ(ToString(ScoreFunction::kSum), "sum");
+  EXPECT_EQ(ToString(ScoreFunction::kEntropy), "entropy");
+  EXPECT_EQ(ToString(ScoreFunction::kMinCoordinate), "minC");
+  EXPECT_EQ(ToString(ScoreFunction::kEuclidean), "euclidean");
+}
+
+struct MonotonicityCase {
+  ScoreFunction f;
+  int seed;
+};
+
+class ScoreMonotonicityTest
+    : public ::testing::TestWithParam<MonotonicityCase> {};
+
+// The presorting contract: p < q implies f(p) < f(q) for the strictly
+// monotone functions (on non-negative data), and the (f, sum) pair is
+// strictly monotone for minC.
+TEST_P(ScoreMonotonicityTest, DominatorScoresStrictlyLess) {
+  const auto param = GetParam();
+  Dataset data =
+      Generate(DataType::kUniformIndependent, 300, 4, param.seed);
+  const Dim d = data.num_dims();
+  for (PointId a = 0; a < data.num_points(); ++a) {
+    for (PointId b = a + 1; b < data.num_points(); ++b) {
+      if (!Dominates(data.row(a), data.row(b), d)) continue;
+      const Value fa = ScorePoint(data.row(a), d, param.f);
+      const Value fb = ScorePoint(data.row(b), d, param.f);
+      if (param.f == ScoreFunction::kMinCoordinate) {
+        ASSERT_LE(fa, fb);
+        if (fa == fb) {
+          ASSERT_LT(ScorePoint(data.row(a), d, ScoreFunction::kSum),
+                    ScorePoint(data.row(b), d, ScoreFunction::kSum));
+        }
+      } else {
+        ASSERT_LT(fa, fb)
+            << ToString(param.f) << " must be strictly monotone";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, ScoreMonotonicityTest,
+    ::testing::Values(MonotonicityCase{ScoreFunction::kSum, 1},
+                      MonotonicityCase{ScoreFunction::kEntropy, 2},
+                      MonotonicityCase{ScoreFunction::kEuclidean, 3},
+                      MonotonicityCase{ScoreFunction::kMinCoordinate, 4}));
+
+}  // namespace
+}  // namespace skyline

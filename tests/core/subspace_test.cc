@@ -1,0 +1,167 @@
+#include "src/core/subspace.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace skyline {
+namespace {
+
+TEST(SubspaceTest, DefaultIsEmpty) {
+  Subspace s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.bits(), 0u);
+}
+
+TEST(SubspaceTest, InitializerListSetsListedDims) {
+  Subspace s{0, 3, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE(s.Contains(5));
+}
+
+TEST(SubspaceTest, BitmaskConstructorUsesRawBits) {
+  Subspace s(0b1011u);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(3));
+}
+
+TEST(SubspaceTest, FullContainsEveryDimension) {
+  for (Dim d = 1; d <= 64; ++d) {
+    Subspace full = Subspace::Full(d);
+    EXPECT_EQ(full.size(), d) << "d=" << d;
+    for (Dim i = 0; i < d; ++i) EXPECT_TRUE(full.Contains(i));
+    if (d < 64) EXPECT_FALSE(full.Contains(d));
+  }
+}
+
+TEST(SubspaceTest, SingleContainsExactlyOneDimension) {
+  Subspace s = Subspace::Single(7);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_EQ(s.Lowest(), 7u);
+}
+
+TEST(SubspaceTest, AddRemove) {
+  Subspace s;
+  s.Add(2);
+  s.Add(4);
+  EXPECT_EQ(s, (Subspace{2, 4}));
+  s.Remove(2);
+  EXPECT_EQ(s, Subspace::Single(4));
+  s.Remove(4);
+  EXPECT_TRUE(s.empty());
+  // Removing an absent dim is a no-op.
+  s.Remove(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SubspaceTest, SubsetRelations) {
+  Subspace small{1, 3};
+  Subspace big{1, 2, 3};
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_TRUE(small.IsProperSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(big.IsSupersetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_FALSE(small.IsProperSubsetOf(small));
+  EXPECT_TRUE(Subspace{}.IsSubsetOf(small));
+  Subspace other{0, 4};
+  EXPECT_FALSE(small.IsSubsetOf(other));
+  EXPECT_FALSE(other.IsSubsetOf(small));
+}
+
+TEST(SubspaceTest, ComplementWithinSpace) {
+  Subspace s{0, 2};
+  Subspace c = s.Complement(4);
+  EXPECT_EQ(c, (Subspace{1, 3}));
+  // Complement twice is the identity.
+  EXPECT_EQ(c.Complement(4), s);
+  // Complement of the full space is empty, and vice versa.
+  EXPECT_TRUE(Subspace::Full(6).Complement(6).empty());
+  EXPECT_EQ(Subspace{}.Complement(6), Subspace::Full(6));
+}
+
+TEST(SubspaceTest, SetAlgebra) {
+  Subspace a{0, 1, 4};
+  Subspace b{1, 2};
+  EXPECT_EQ(a.Union(b), (Subspace{0, 1, 2, 4}));
+  EXPECT_EQ(a.Intersection(b), Subspace::Single(1));
+  EXPECT_EQ(a.Difference(b), (Subspace{0, 4}));
+  EXPECT_EQ(b.Difference(a), Subspace::Single(2));
+  EXPECT_EQ(a | b, a.Union(b));
+  EXPECT_EQ(a & b, a.Intersection(b));
+}
+
+TEST(SubspaceTest, CompoundAssignment) {
+  Subspace s{0};
+  s |= Subspace{3};
+  EXPECT_EQ(s, (Subspace{0, 3}));
+  s &= Subspace{3, 5};
+  EXPECT_EQ(s, Subspace::Single(3));
+}
+
+TEST(SubspaceTest, ForEachDimVisitsInIncreasingOrder) {
+  Subspace s{5, 0, 9, 2};
+  std::vector<Dim> visited;
+  s.ForEachDim([&](Dim d) { visited.push_back(d); });
+  EXPECT_EQ(visited, (std::vector<Dim>{0, 2, 5, 9}));
+}
+
+TEST(SubspaceTest, ToString) {
+  EXPECT_EQ(Subspace{}.ToString(), "{}");
+  EXPECT_EQ((Subspace{1, 3}).ToString(), "{1,3}");
+}
+
+TEST(SubspaceTest, LowestReturnsSmallestMember) {
+  EXPECT_EQ((Subspace{6, 2, 9}).Lowest(), 2u);
+}
+
+TEST(SubspaceTest, OrderingIsTotalOnBitmask) {
+  EXPECT_LT(Subspace(1), Subspace(2));
+  EXPECT_LT(Subspace(2), Subspace(3));
+  EXPECT_FALSE(Subspace(3) < Subspace(3));
+}
+
+// Property checks over random masks: complement/subset/union laws.
+class SubspacePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubspacePropertyTest, AlgebraLawsHoldOnRandomMasks) {
+  std::mt19937_64 rng(GetParam());
+  const Dim d = 1 + static_cast<Dim>(rng() % 64);
+  const std::uint64_t space = Subspace::Full(d).bits();
+  for (int i = 0; i < 200; ++i) {
+    Subspace a(rng() & space);
+    Subspace b(rng() & space);
+    Subspace c(rng() & space);
+    // De Morgan.
+    EXPECT_EQ((a | b).Complement(d), a.Complement(d) & b.Complement(d));
+    EXPECT_EQ((a & b).Complement(d),
+              a.Complement(d) | b.Complement(d));
+    // Subset characterizations.
+    EXPECT_EQ(a.IsSubsetOf(b), (a & b) == a);
+    EXPECT_EQ(a.IsSubsetOf(b), (a | b) == b);
+    EXPECT_EQ(a.IsSubsetOf(b), b.Complement(d).IsSubsetOf(a.Complement(d)));
+    // Size arithmetic.
+    EXPECT_EQ(a.size() + a.Complement(d).size(), d);
+    EXPECT_EQ((a | b).size() + (a & b).size(), a.size() + b.size());
+    // Associativity / distributivity spot checks.
+    EXPECT_EQ((a | b) | c, a | (b | c));
+    EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubspacePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace skyline

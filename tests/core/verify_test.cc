@@ -1,0 +1,56 @@
+#include "src/core/verify.h"
+
+#include <gtest/gtest.h>
+
+namespace skyline {
+namespace {
+
+TEST(VerifyTest, ReferenceSkylineTextbookExample) {
+  // The hotel example of Figure 1, reduced: price vs distance.
+  Dataset data = Dataset::FromRows({
+      {1.0, 9.0},  // skyline
+      {2.0, 8.0},  // skyline
+      {3.0, 8.5},  // dominated by (2,8)
+      {5.0, 4.0},  // skyline
+      {6.0, 5.0},  // dominated by (5,4)
+      {9.0, 1.0},  // skyline
+  });
+  EXPECT_EQ(ReferenceSkyline(data), (std::vector<PointId>{0, 1, 3, 5}));
+}
+
+TEST(VerifyTest, AllEqualPointsAreAllSkyline) {
+  Dataset data = Dataset::FromRows({{1, 1}, {1, 1}, {1, 1}});
+  EXPECT_EQ(ReferenceSkyline(data).size(), 3u);
+}
+
+TEST(VerifyTest, SinglePointIsSkyline) {
+  Dataset data = Dataset::FromRows({{4, 2}});
+  EXPECT_EQ(ReferenceSkyline(data), std::vector<PointId>{0});
+}
+
+TEST(VerifyTest, EmptyDataset) {
+  Dataset data(3);
+  EXPECT_TRUE(ReferenceSkyline(data).empty());
+}
+
+TEST(VerifyTest, TotallyOrderedChainHasSingletonSkyline) {
+  Dataset data = Dataset::FromRows({{3, 3}, {2, 2}, {1, 1}, {4, 4}});
+  EXPECT_EQ(ReferenceSkyline(data), std::vector<PointId>{2});
+}
+
+TEST(VerifyTest, SameIdSetIgnoresOrder) {
+  EXPECT_TRUE(SameIdSet({3, 1, 2}, {1, 2, 3}));
+  EXPECT_FALSE(SameIdSet({1, 2}, {1, 2, 3}));
+  EXPECT_FALSE(SameIdSet({1, 4}, {1, 2}));
+  EXPECT_TRUE(SameIdSet({}, {}));
+}
+
+TEST(VerifyTest, IsSkylineOfAcceptsExactSet) {
+  Dataset data = Dataset::FromRows({{1, 2}, {2, 1}, {3, 3}});
+  EXPECT_TRUE(IsSkylineOf(data, {1, 0}));
+  EXPECT_FALSE(IsSkylineOf(data, {0, 1, 2}));
+  EXPECT_FALSE(IsSkylineOf(data, {0}));
+}
+
+}  // namespace
+}  // namespace skyline

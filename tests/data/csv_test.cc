@@ -1,0 +1,96 @@
+#include "src/data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(CsvTest, WriteProducesOneLinePerPoint) {
+  Dataset data = Dataset::FromRows({{1, 2.5}, {3, 4}});
+  std::ostringstream out;
+  WriteCsv(data, out);
+  EXPECT_EQ(out.str(), "1,2.5\n3,4\n");
+}
+
+TEST(CsvTest, ReadPlainRows) {
+  std::istringstream in("1,2\n3,4\n5,6\n");
+  auto data = ReadCsv(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->num_points(), 3u);
+  EXPECT_EQ(data->num_dims(), 2u);
+  EXPECT_EQ(data->at(2, 1), 6.0);
+}
+
+TEST(CsvTest, ReadSkipsHeader) {
+  std::istringstream in("price,distance\n10,3\n20,1\n");
+  auto data = ReadCsv(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->num_points(), 2u);
+  EXPECT_EQ(data->at(0, 0), 10.0);
+}
+
+TEST(CsvTest, ReadAcceptsSemicolonsAndWhitespace) {
+  std::istringstream in("1;2\n3 4\n5\t6\n");
+  auto data = ReadCsv(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->num_points(), 3u);
+}
+
+TEST(CsvTest, ReadIgnoresBlankLines) {
+  std::istringstream in("1,2\n\n3,4\n   \n");
+  auto data = ReadCsv(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->num_points(), 2u);
+}
+
+TEST(CsvTest, ReadRejectsRaggedRows) {
+  std::istringstream in("1,2\n3,4,5\n");
+  EXPECT_FALSE(ReadCsv(in).has_value());
+}
+
+TEST(CsvTest, ReadRejectsNonNumericBody) {
+  std::istringstream in("1,2\nfoo,bar\n");
+  EXPECT_FALSE(ReadCsv(in).has_value());
+}
+
+TEST(CsvTest, ReadRejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_FALSE(ReadCsv(in).has_value());
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  Dataset data = Generate(DataType::kUniformIndependent, 50, 3, 17);
+  std::ostringstream out;
+  WriteCsv(data, out);
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->num_points(), data.num_points());
+  ASSERT_EQ(back->num_dims(), data.num_dims());
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    for (Dim i = 0; i < data.num_dims(); ++i) {
+      // Default ostream precision is 6 significant digits.
+      EXPECT_NEAR(back->at(p, i), data.at(p, i), 1e-5);
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Dataset data = Dataset::FromRows({{1, 2}, {3, 4}});
+  const std::string path = ::testing::TempDir() + "/skyline_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(data, path));
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->values(), data.values());
+}
+
+TEST(CsvTest, MissingFile) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/path/data.csv").has_value());
+}
+
+}  // namespace
+}  // namespace skyline

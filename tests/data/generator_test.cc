@@ -1,0 +1,163 @@
+#include "src/data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/verify.h"
+
+namespace skyline {
+namespace {
+
+TEST(GeneratorTest, ShapeAndRange) {
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 500, 6, 7);
+    ASSERT_EQ(data.num_points(), 500u);
+    ASSERT_EQ(data.num_dims(), 6u);
+    for (PointId p = 0; p < data.num_points(); ++p) {
+      for (Dim i = 0; i < data.num_dims(); ++i) {
+        ASSERT_GE(data.at(p, i), 0.0) << ShortName(type);
+        ASSERT_LE(data.at(p, i), 1.0) << ShortName(type);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  Dataset a = Generate(DataType::kUniformIndependent, 100, 4, 123);
+  Dataset b = Generate(DataType::kUniformIndependent, 100, 4, 123);
+  EXPECT_EQ(a.values(), b.values());
+  Dataset c = Generate(DataType::kUniformIndependent, 100, 4, 124);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(GeneratorTest, ZeroPoints) {
+  Dataset data = Generate(DataType::kCorrelated, 0, 3, 1);
+  EXPECT_TRUE(data.empty());
+}
+
+TEST(GeneratorTest, OneDimension) {
+  Dataset data = Generate(DataType::kUniformIndependent, 50, 1, 1);
+  EXPECT_EQ(data.num_dims(), 1u);
+  EXPECT_EQ(ReferenceSkyline(data).size(), 1u);  // unique minimum a.s.
+}
+
+/// Pearson correlation of two dimensions over a dataset.
+double Correlation(const Dataset& data, Dim a, Dim b) {
+  const std::size_t n = data.num_points();
+  double ma = 0, mb = 0;
+  for (PointId p = 0; p < n; ++p) {
+    ma += data.at(p, a);
+    mb += data.at(p, b);
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (PointId p = 0; p < n; ++p) {
+    const double da = data.at(p, a) - ma;
+    const double db = data.at(p, b) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(GeneratorTest, CorrelatedDimensionsArePositivelyCorrelated) {
+  Dataset data = Generate(DataType::kCorrelated, 5000, 4, 99);
+  for (Dim i = 0; i < 4; ++i) {
+    for (Dim j = i + 1; j < 4; ++j) {
+      EXPECT_GT(Correlation(data, i, j), 0.5) << i << "," << j;
+    }
+  }
+}
+
+TEST(GeneratorTest, AntiCorrelatedDimensionsAreNegativelyCorrelated) {
+  Dataset data = Generate(DataType::kAntiCorrelated, 5000, 4, 99);
+  double mean_corr = 0;
+  int pairs = 0;
+  for (Dim i = 0; i < 4; ++i) {
+    for (Dim j = i + 1; j < 4; ++j) {
+      mean_corr += Correlation(data, i, j);
+      ++pairs;
+    }
+  }
+  EXPECT_LT(mean_corr / pairs, -0.05);
+}
+
+TEST(GeneratorTest, UniformDimensionsAreUncorrelated) {
+  Dataset data = Generate(DataType::kUniformIndependent, 5000, 4, 99);
+  for (Dim i = 0; i < 4; ++i) {
+    for (Dim j = i + 1; j < 4; ++j) {
+      EXPECT_NEAR(Correlation(data, i, j), 0.0, 0.06);
+    }
+  }
+}
+
+TEST(GeneratorTest, SkylineSizeOrderingCoBelowUiBelowAc) {
+  // The defining property of the three families (Table 1): for the same
+  // (n, d), skyline(CO) << skyline(UI) << skyline(AC).
+  const std::size_t n = 2000;
+  const Dim d = 6;
+  const auto co = ReferenceSkyline(Generate(DataType::kCorrelated, n, d, 5));
+  const auto ui =
+      ReferenceSkyline(Generate(DataType::kUniformIndependent, n, d, 5));
+  const auto ac =
+      ReferenceSkyline(Generate(DataType::kAntiCorrelated, n, d, 5));
+  EXPECT_LT(co.size() * 4, ui.size());
+  EXPECT_LT(ui.size() * 2, ac.size());
+}
+
+TEST(GeneratorTest, SkylineGrowsWithDimensionality) {
+  const std::size_t n = 2000;
+  std::size_t prev = 0;
+  for (Dim d : {2u, 4u, 8u}) {
+    const auto sky =
+        ReferenceSkyline(Generate(DataType::kUniformIndependent, n, d, 5));
+    EXPECT_GT(sky.size(), prev);
+    prev = sky.size();
+  }
+}
+
+TEST(GeneratorTest, AntiCorrelatedPointsHaveNearConstantSum) {
+  Dataset data = Generate(DataType::kAntiCorrelated, 2000, 8, 3);
+  double mean = 0;
+  std::vector<double> sums(data.num_points());
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    double s = 0;
+    for (Dim i = 0; i < 8; ++i) s += data.at(p, i);
+    sums[p] = s;
+    mean += s;
+  }
+  mean /= data.num_points();
+  // Sums concentrate near d/2 = 4.
+  EXPECT_NEAR(mean, 4.0, 0.3);
+}
+
+TEST(GeneratorTest, ParseDataType) {
+  DataType t;
+  EXPECT_TRUE(ParseDataType("AC", &t));
+  EXPECT_EQ(t, DataType::kAntiCorrelated);
+  EXPECT_TRUE(ParseDataType("co", &t));
+  EXPECT_EQ(t, DataType::kCorrelated);
+  EXPECT_TRUE(ParseDataType("Uniform", &t));
+  EXPECT_EQ(t, DataType::kUniformIndependent);
+  EXPECT_TRUE(ParseDataType("anti-correlated", &t));
+  EXPECT_EQ(t, DataType::kAntiCorrelated);
+  EXPECT_FALSE(ParseDataType("bogus", &t));
+}
+
+TEST(GeneratorTest, NamesRoundTrip) {
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    DataType parsed;
+    ASSERT_TRUE(ParseDataType(ShortName(type), &parsed));
+    EXPECT_EQ(parsed, type);
+    ASSERT_TRUE(ParseDataType(ToString(type), &parsed));
+    EXPECT_EQ(parsed, type);
+  }
+}
+
+}  // namespace
+}  // namespace skyline

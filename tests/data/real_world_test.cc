@@ -1,0 +1,97 @@
+#include "src/data/real_world.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace skyline {
+namespace {
+
+// Building the full-size surrogates is slow; tests that need content use
+// a shared fixture built once.
+class RealWorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    nba_ = new Dataset(NbaSurrogate());
+  }
+  static void TearDownTestSuite() {
+    delete nba_;
+    nba_ = nullptr;
+  }
+  static Dataset* nba_;
+};
+
+Dataset* RealWorldTest::nba_ = nullptr;
+
+TEST_F(RealWorldTest, CatalogMatchesPaperMetadata) {
+  const auto catalog = RealDatasetCatalog();
+  ASSERT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog[0].name, "house");
+  EXPECT_EQ(catalog[0].cardinality, 127931u);
+  EXPECT_EQ(catalog[0].dimensionality, 6u);
+  EXPECT_EQ(catalog[0].sigma, 4);
+  EXPECT_EQ(catalog[1].name, "nba");
+  EXPECT_EQ(catalog[1].cardinality, 17264u);
+  EXPECT_EQ(catalog[1].dimensionality, 8u);
+  EXPECT_EQ(catalog[1].sigma, 2);
+  EXPECT_EQ(catalog[2].name, "weather");
+  EXPECT_EQ(catalog[2].cardinality, 566268u);
+  EXPECT_EQ(catalog[2].dimensionality, 15u);
+  EXPECT_EQ(catalog[2].sigma, 3);
+}
+
+TEST_F(RealWorldTest, NbaShapeMatchesCatalog) {
+  EXPECT_EQ(nba_->num_points(), 17264u);
+  EXPECT_EQ(nba_->num_dims(), 8u);
+}
+
+TEST_F(RealWorldTest, NbaValuesAreNonNegativeIntegers) {
+  for (PointId p = 0; p < nba_->num_points(); ++p) {
+    for (Dim i = 0; i < nba_->num_dims(); ++i) {
+      const Value v = nba_->at(p, i);
+      ASSERT_GE(v, 0.0);
+      ASSERT_EQ(v, static_cast<Value>(static_cast<long long>(v)))
+          << "box-score attributes are integral";
+    }
+  }
+}
+
+TEST_F(RealWorldTest, NbaHasHeavyDuplicateDimensionValues) {
+  // The paper's Section 6.3 discussion depends on duplicates: the number
+  // of distinct values per dimension must be tiny relative to N.
+  for (Dim i = 0; i < nba_->num_dims(); ++i) {
+    std::unordered_set<Value> distinct;
+    for (PointId p = 0; p < nba_->num_points(); ++p) {
+      distinct.insert(nba_->at(p, i));
+    }
+    EXPECT_LE(distinct.size(), 64u) << "dimension " << i;
+  }
+}
+
+TEST_F(RealWorldTest, NbaIsDeterministic) {
+  Dataset again = NbaSurrogate();
+  EXPECT_EQ(nba_->values(), again.values());
+}
+
+TEST_F(RealWorldTest, MakeRealDatasetByName) {
+  Dataset byname = MakeRealDataset("nba");
+  EXPECT_EQ(byname.num_points(), nba_->num_points());
+  EXPECT_TRUE(MakeRealDataset("unknown").empty());
+}
+
+// HOUSE and WEATHER are big; verify shape only (content-level checks run
+// in bench_table15_17_real, which builds them anyway).
+TEST(RealWorldShapeTest, HouseShape) {
+  Dataset house = HouseSurrogate();
+  EXPECT_EQ(house.num_points(), 127931u);
+  EXPECT_EQ(house.num_dims(), 6u);
+}
+
+TEST(RealWorldShapeTest, WeatherShape) {
+  Dataset weather = WeatherSurrogate();
+  EXPECT_EQ(weather.num_points(), 566268u);
+  EXPECT_EQ(weather.num_dims(), 15u);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,102 @@
+#include "src/extras/skyband.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/dominance.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+/// Brute-force oracle: points with fewer than k dominators.
+std::vector<PointId> ReferenceSkyband(const Dataset& data, std::uint32_t k,
+                                      std::vector<std::uint32_t>* counts) {
+  const Dim d = data.num_dims();
+  std::vector<PointId> out;
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    std::uint32_t dominators = 0;
+    for (PointId q = 0; q < data.num_points(); ++q) {
+      if (q != p && Dominates(data.row(q), data.row(p), d)) ++dominators;
+    }
+    if (dominators < k) {
+      out.push_back(p);
+      if (counts != nullptr) counts->push_back(dominators);
+    }
+  }
+  return out;
+}
+
+TEST(SkybandTest, OneSkybandIsTheSkyline) {
+  Dataset data = Generate(DataType::kUniformIndependent, 800, 4, 3);
+  SkybandResult band = ComputeSkyband(data, 1);
+  EXPECT_TRUE(SameIdSet(band.points, ReferenceSkyline(data)));
+  for (std::uint32_t c : band.dominator_counts) EXPECT_EQ(c, 0u);
+}
+
+class SkybandOracleTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SkybandOracleTest, MatchesBruteForceWithExactCounts) {
+  const std::uint32_t k = GetParam();
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 500, 4, 7);
+    SkybandResult band = ComputeSkyband(data, k);
+    std::vector<std::uint32_t> expected_counts;
+    auto expected = ReferenceSkyband(data, k, &expected_counts);
+    ASSERT_TRUE(SameIdSet(band.points, expected)) << ShortName(type);
+    // Counts: align by id.
+    std::vector<std::pair<PointId, std::uint32_t>> got, want;
+    for (std::size_t i = 0; i < band.points.size(); ++i) {
+      got.emplace_back(band.points[i], band.dominator_counts[i]);
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      want.emplace_back(expected[i], expected_counts[i]);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << ShortName(type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SkybandOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 10u));
+
+TEST(SkybandTest, MonotoneInK) {
+  Dataset data = Generate(DataType::kUniformIndependent, 600, 5, 9);
+  std::size_t prev = 0;
+  for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    SkybandResult band = ComputeSkyband(data, k);
+    EXPECT_GE(band.points.size(), prev);
+    prev = band.points.size();
+  }
+}
+
+TEST(SkybandTest, LargeKReturnsEverything) {
+  Dataset data = Generate(DataType::kCorrelated, 300, 3, 5);
+  SkybandResult band = ComputeSkyband(
+      data, static_cast<std::uint32_t>(data.num_points()));
+  EXPECT_EQ(band.points.size(), data.num_points());
+}
+
+TEST(SkybandTest, DuplicatesDoNotDominateEachOther) {
+  Dataset data = Dataset::FromRows({{1, 1}, {1, 1}, {2, 2}, {2, 2}});
+  SkybandResult band = ComputeSkyband(data, 2);
+  // (1,1) twins have 0 dominators; (2,2) twins have exactly 2 (< 2 is
+  // false) -> only the twins at (1,1) are in the 2-skyband.
+  EXPECT_TRUE(SameIdSet(band.points, {0, 1}));
+  SkybandResult band3 = ComputeSkyband(data, 3);
+  EXPECT_EQ(band3.points.size(), 4u);
+}
+
+TEST(SkybandTest, EmptyAndSingle) {
+  Dataset empty(2);
+  EXPECT_TRUE(ComputeSkyband(empty, 3).points.empty());
+  Dataset one = Dataset::FromRows({{1, 2}});
+  EXPECT_EQ(ComputeSkyband(one, 1).points.size(), 1u);
+}
+
+}  // namespace
+}  // namespace skyline

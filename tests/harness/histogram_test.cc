@@ -1,0 +1,56 @@
+#include "src/harness/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace skyline {
+namespace {
+
+TEST(HistogramTest, CountsMasksBySize) {
+  std::vector<Subspace> masks = {
+      Subspace{0},       Subspace{1},    Subspace{0, 1},
+      Subspace{0, 1, 2}, Subspace{2, 3}, Subspace{},
+  };
+  auto hist = SubspaceSizeHistogram(masks, 4);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 2u);
+  EXPECT_EQ(hist[3], 1u);
+  EXPECT_EQ(hist[4], 0u);
+}
+
+TEST(HistogramTest, EmptyMaskList) {
+  auto hist = SubspaceSizeHistogram({}, 3);
+  EXPECT_EQ(hist, (std::vector<std::size_t>{0, 0, 0, 0}));
+}
+
+TEST(HistogramTest, PrintShowsCountsAndTitle) {
+  std::ostringstream out;
+  PrintHistogram(out, "Distribution", {0, 5, 100, 0});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Distribution"), std::string::npos);
+  EXPECT_NE(text.find("size  1"), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+  // size 0 bin with zero count is suppressed.
+  EXPECT_EQ(text.find("size  0"), std::string::npos);
+}
+
+TEST(HistogramTest, BarsScaleWithCounts) {
+  std::ostringstream out;
+  PrintHistogram(out, "t", {0, 1, 1000});
+  std::istringstream lines(out.str());
+  std::string line, line1, line2;
+  std::getline(lines, line);  // title
+  std::getline(lines, line1);
+  std::getline(lines, line2);
+  const auto hashes = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_GT(hashes(line2), hashes(line1));
+}
+
+}  // namespace
+}  // namespace skyline

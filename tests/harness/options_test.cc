@@ -1,0 +1,69 @@
+#include "src/harness/options.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace skyline {
+namespace {
+
+BenchOptions ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  return BenchOptions::Parse(static_cast<int>(args.size()),
+                             const_cast<char**>(args.data()));
+}
+
+class OptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv("SKYLINE_FULL"); }
+  void TearDown() override { unsetenv("SKYLINE_FULL"); }
+};
+
+TEST_F(OptionsTest, DefaultsToReducedScale) {
+  BenchOptions opts = ParseArgs({});
+  EXPECT_FALSE(opts.full);
+  EXPECT_EQ(opts.EffectiveRuns(), 3);
+  EXPECT_EQ(opts.seed, 42u);
+}
+
+TEST_F(OptionsTest, FullFlag) {
+  BenchOptions opts = ParseArgs({"--full"});
+  EXPECT_TRUE(opts.full);
+  EXPECT_EQ(opts.EffectiveRuns(), 10);
+}
+
+TEST_F(OptionsTest, EnvironmentVariableEnablesFull) {
+  setenv("SKYLINE_FULL", "1", 1);
+  EXPECT_TRUE(ParseArgs({}).full);
+  setenv("SKYLINE_FULL", "0", 1);
+  EXPECT_FALSE(ParseArgs({}).full);
+}
+
+TEST_F(OptionsTest, ReducedFlagOverridesEnvironment) {
+  setenv("SKYLINE_FULL", "1", 1);
+  EXPECT_FALSE(ParseArgs({"--reduced"}).full);
+}
+
+TEST_F(OptionsTest, ExplicitRunsAndSeed) {
+  BenchOptions opts = ParseArgs({"--runs=7", "--seed=99"});
+  EXPECT_EQ(opts.EffectiveRuns(), 7);
+  EXPECT_EQ(opts.seed, 99u);
+}
+
+TEST_F(OptionsTest, UnknownArgumentsIgnored) {
+  BenchOptions opts = ParseArgs({"--whatever", "--full"});
+  EXPECT_TRUE(opts.full);
+}
+
+TEST_F(OptionsTest, SweepsScaleWithFullFlag) {
+  BenchOptions reduced = ParseArgs({});
+  BenchOptions full = ParseArgs({"--full"});
+  EXPECT_LT(reduced.DimensionSweep().size(), full.DimensionSweep().size());
+  EXPECT_EQ(full.DimensionSweep().back(), 24u);
+  EXPECT_EQ(full.CardinalitySweep().back(), 1000000u);
+  EXPECT_EQ(full.SweepCardinality(), 200000u);
+  EXPECT_LT(reduced.SweepCardinality(), full.SweepCardinality());
+}
+
+}  // namespace
+}  // namespace skyline

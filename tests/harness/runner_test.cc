@@ -1,0 +1,43 @@
+#include "src/harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algo/registry.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(RunnerTest, ComputesPaperMetrics) {
+  Dataset data = Generate(DataType::kUniformIndependent, 500, 4, 3);
+  auto algo = MakeAlgorithm("sfs");
+  RunResult result = RunAlgorithm(*algo, data, 2);
+  EXPECT_GT(result.mean_dominance_tests, 0.0);
+  EXPECT_GE(result.elapsed_ms, 0.0);
+  EXPECT_EQ(result.skyline_size, result.skyline.size());
+  EXPECT_TRUE(IsSkylineOf(data, result.skyline));
+  // mean DT = total tests / N, per Section 6.
+  EXPECT_DOUBLE_EQ(
+      result.mean_dominance_tests,
+      static_cast<double>(result.stats.dominance_tests) / data.num_points());
+}
+
+TEST(RunnerTest, AtLeastOneRun) {
+  Dataset data = Generate(DataType::kCorrelated, 100, 3, 1);
+  auto algo = MakeAlgorithm("bnl");
+  RunResult result = RunAlgorithm(*algo, data, 0);  // clamped to 1
+  EXPECT_EQ(result.skyline_size, ReferenceSkyline(data).size());
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  Dataset data = Generate(DataType::kAntiCorrelated, 400, 5, 9);
+  auto algo = MakeAlgorithm("sdi-subset");
+  RunResult a = RunAlgorithm(*algo, data, 1);
+  RunResult b = RunAlgorithm(*algo, data, 3);
+  EXPECT_EQ(a.skyline, b.skyline);
+  EXPECT_EQ(a.stats.dominance_tests, b.stats.dominance_tests);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,63 @@
+#include "src/harness/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace skyline {
+namespace {
+
+TEST(TextTableTest, PrintsHeaderAndRows) {
+  TextTable table({"Algo", "DT", "RT"});
+  table.AddRow({"sfs", "12.5", "3.2"});
+  table.AddRow({"sdi", "1.25", "0.8"});
+  std::ostringstream out;
+  table.Print(out, "My experiment");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("My experiment"), std::string::npos);
+  EXPECT_NE(text.find("Algo"), std::string::npos);
+  EXPECT_NE(text.find("sfs"), std::string::npos);
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"A", "B", "C"});
+  table.AddRow({"x"});
+  std::ostringstream out;
+  table.Print(out, "t");
+  EXPECT_NE(out.str().find('x'), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable table({"Name", "V"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "2"});
+  std::ostringstream out;
+  table.Print(out, "t");
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t v_col = std::string::npos;
+  while (std::getline(lines, line)) {
+    const auto pos1 = line.find('1');
+    const auto pos2 = line.find('2');
+    if (pos1 != std::string::npos) v_col = pos1;
+    if (pos2 != std::string::npos) EXPECT_EQ(pos2, v_col);
+  }
+}
+
+TEST(TextTableTest, FormatNumberSixSignificantDigits) {
+  EXPECT_EQ(TextTable::FormatNumber(23648.61), "23648.6");
+  EXPECT_EQ(TextTable::FormatNumber(3.668361), "3.66836");
+  EXPECT_EQ(TextTable::FormatNumber(0.0), "0");
+  EXPECT_EQ(TextTable::FormatNumber(100.0), "100");
+}
+
+TEST(TextTableTest, FormatGainMatchesPaperConvention) {
+  EXPECT_EQ(TextTable::FormatGain(23648.6, 4884.64), "x 4.84");
+  EXPECT_EQ(TextTable::FormatGain(1.0, 2.0), "-");   // no gain
+  EXPECT_EQ(TextTable::FormatGain(2.0, 2.0), "-");   // exactly equal
+  EXPECT_EQ(TextTable::FormatGain(1.0, 0.0), "-");   // degenerate
+}
+
+}  // namespace
+}  // namespace skyline

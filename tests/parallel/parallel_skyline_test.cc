@@ -1,0 +1,65 @@
+#include "src/parallel/parallel_skyline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(ParallelSfsTest, Name) {
+  EXPECT_EQ(ParallelSfs().name(), "parallel-sfs");
+}
+
+class ParallelThreadCountTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelThreadCountTest, CorrectForAnyThreadCount) {
+  const unsigned threads = GetParam();
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 900, 5, 17);
+    ParallelSfs algo(threads);
+    EXPECT_TRUE(IsSkylineOf(data, algo.Compute(data)))
+        << ShortName(type) << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelThreadCountTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 16u));
+
+TEST(ParallelSfsTest, DeterministicAcrossRuns) {
+  Dataset data = Generate(DataType::kUniformIndependent, 2000, 6, 4);
+  ParallelSfs algo(4);
+  SkylineStats a, b;
+  auto ra = algo.Compute(data, &a);
+  auto rb = algo.Compute(data, &b);
+  EXPECT_TRUE(SameIdSet(ra, rb));
+  EXPECT_EQ(a.dominance_tests, b.dominance_tests)
+      << "test counts must not depend on scheduling";
+}
+
+TEST(ParallelSfsTest, SingleThreadMatchesMultiThreadExactly) {
+  Dataset data = Generate(DataType::kAntiCorrelated, 1200, 4, 8);
+  EXPECT_TRUE(
+      SameIdSet(ParallelSfs(1).Compute(data), ParallelSfs(5).Compute(data)));
+}
+
+TEST(ParallelSfsTest, TinyInputsClampThreads) {
+  Dataset data = Dataset::FromRows({{1, 2}, {2, 1}, {3, 3}});
+  ParallelSfs algo(64);  // far more threads than points
+  EXPECT_TRUE(SameIdSet(algo.Compute(data), {0, 1}));
+  Dataset empty(2);
+  EXPECT_TRUE(algo.Compute(empty).empty());
+}
+
+TEST(ParallelSfsTest, StatsAreFilled) {
+  Dataset data = Generate(DataType::kUniformIndependent, 1500, 5, 2);
+  SkylineStats stats;
+  auto result = ParallelSfs(2).Compute(data, &stats);
+  EXPECT_EQ(stats.skyline_size, result.size());
+  EXPECT_GT(stats.dominance_tests, 0u);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,139 @@
+#include "src/skycube/skycube.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/dominance.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(SubspaceDominanceTest, RestrictedToMemberDimensions) {
+  const Value a[] = {1, 9, 2};
+  const Value b[] = {2, 1, 3};
+  EXPECT_TRUE(DominatesInSubspace(a, b, Subspace{0, 2}));
+  EXPECT_FALSE(DominatesInSubspace(a, b, Subspace{0, 1}));
+  EXPECT_FALSE(DominatesInSubspace(a, b, Subspace{1}));
+  EXPECT_TRUE(DominatesInSubspace(b, a, Subspace{1}));
+}
+
+TEST(SubspaceDominanceTest, EqualProjectionNeverDominates) {
+  const Value a[] = {1, 5};
+  const Value b[] = {1, 7};
+  EXPECT_FALSE(DominatesInSubspace(a, b, Subspace{0}));
+  EXPECT_TRUE(EqualInSubspace(a, b, Subspace{0}));
+  EXPECT_FALSE(EqualInSubspace(a, b, Subspace{0, 1}));
+}
+
+TEST(SubspaceSkylineTest, FullSpaceEqualsSkyline) {
+  Dataset data = Generate(DataType::kUniformIndependent, 500, 4, 3);
+  EXPECT_TRUE(SameIdSet(SubspaceSkyline(data, Subspace::Full(4)),
+                        ReferenceSkyline(data)));
+}
+
+TEST(SubspaceSkylineTest, SingleDimensionIsAllMinima) {
+  Dataset data = Dataset::FromRows({{3, 1}, {1, 2}, {1, 9}, {2, 0}});
+  // Dimension 0: minimum value 1 is attained by points 1 and 2.
+  EXPECT_TRUE(SameIdSet(SubspaceSkyline(data, Subspace{0}), {1, 2}));
+  EXPECT_TRUE(SameIdSet(SubspaceSkyline(data, Subspace{1}), {3}));
+}
+
+/// Brute-force oracle for a subspace skyline.
+std::vector<PointId> ReferenceSubspaceSkyline(const Dataset& data,
+                                              Subspace subspace) {
+  std::vector<PointId> out;
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    bool dominated = false;
+    for (PointId q = 0; q < data.num_points() && !dominated; ++q) {
+      if (q != p &&
+          DominatesInSubspace(data.row(q), data.row(p), subspace)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) out.push_back(p);
+  }
+  return out;
+}
+
+struct SkycubeCase {
+  DataType type;
+  unsigned dims;
+  std::size_t points;
+  std::uint64_t seed;
+};
+
+class SkycubeStrategyTest : public ::testing::TestWithParam<SkycubeCase> {};
+
+TEST_P(SkycubeStrategyTest, NaiveAndTopDownAgreeWithOracle) {
+  const auto& c = GetParam();
+  Dataset data = Generate(c.type, c.points, c.dims, c.seed);
+  Skycube naive = Skycube::Compute(data, SkycubeStrategy::kNaive);
+  Skycube shared = Skycube::Compute(data, SkycubeStrategy::kTopDown);
+  ASSERT_EQ(naive.num_cuboids(), (std::size_t{1} << c.dims) - 1);
+  for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << c.dims); ++bits) {
+    const Subspace v(bits);
+    const auto oracle = ReferenceSubspaceSkyline(data, v);
+    ASSERT_TRUE(SameIdSet(naive.skyline(v), oracle))
+        << "naive cuboid " << v.ToString();
+    ASSERT_TRUE(SameIdSet(shared.skyline(v), oracle))
+        << "top-down cuboid " << v.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SkycubeStrategyTest,
+    ::testing::Values(
+        SkycubeCase{DataType::kUniformIndependent, 2, 300, 1},
+        SkycubeCase{DataType::kUniformIndependent, 4, 300, 2},
+        SkycubeCase{DataType::kUniformIndependent, 5, 200, 3},
+        SkycubeCase{DataType::kAntiCorrelated, 4, 300, 4},
+        SkycubeCase{DataType::kCorrelated, 4, 300, 5}));
+
+TEST(SkycubeTest, DuplicateProjectionRepair) {
+  // The classic counterexample to naive parent-sharing: point 1 is NOT
+  // in the full-space skyline (dominated by point 0 via dimension 1),
+  // but ties with point 0 on dimension 0 — so it IS in the {0}-cuboid.
+  Dataset data = Dataset::FromRows({
+      {1.0, 1.0},  // 0: skyline everywhere
+      {1.0, 2.0},  // 1: dominated in full space, ties on dim 0
+      {2.0, 3.0},  // 2: dominated everywhere
+  });
+  Skycube cube = Skycube::Compute(data, SkycubeStrategy::kTopDown);
+  EXPECT_TRUE(SameIdSet(cube.skyline(Subspace::Full(2)), {0}));
+  EXPECT_TRUE(SameIdSet(cube.skyline(Subspace{0}), {0, 1}));
+  EXPECT_TRUE(SameIdSet(cube.skyline(Subspace{1}), {0}));
+}
+
+TEST(SkycubeTest, QuantizedDuplicateHeavyDataAgrees) {
+  Dataset base = Generate(DataType::kUniformIndependent, 400, 4, 9);
+  std::vector<Value> values = base.values();
+  for (Value& v : values) v = std::floor(v * 4);
+  Dataset data(4, std::move(values));
+  Skycube naive = Skycube::Compute(data, SkycubeStrategy::kNaive);
+  Skycube shared = Skycube::Compute(data, SkycubeStrategy::kTopDown);
+  for (std::uint64_t bits = 1; bits < 16; ++bits) {
+    ASSERT_TRUE(SameIdSet(naive.skyline(Subspace(bits)),
+                          shared.skyline(Subspace(bits))))
+        << Subspace(bits).ToString();
+  }
+}
+
+TEST(SkycubeTest, TopDownSpendsFewerTests) {
+  Dataset data = Generate(DataType::kCorrelated, 2000, 6, 7);
+  std::uint64_t naive_tests = 0, shared_tests = 0;
+  Skycube::Compute(data, SkycubeStrategy::kNaive, &naive_tests);
+  Skycube::Compute(data, SkycubeStrategy::kTopDown, &shared_tests);
+  EXPECT_LT(shared_tests, naive_tests);
+}
+
+TEST(SkycubeTest, TotalSizeSumsCuboids) {
+  Dataset data = Dataset::FromRows({{1, 2}, {2, 1}});
+  Skycube cube = Skycube::Compute(data);
+  // Cuboids: {0} -> {0}; {1} -> {1}; {0,1} -> {0,1}.
+  EXPECT_EQ(cube.num_cuboids(), 3u);
+  EXPECT_EQ(cube.total_size(), 4u);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,151 @@
+#include "src/stream/streaming_skyline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+/// Feeds the dataset's rows into a StreamingSkyline in row order.
+StreamingSkyline Feed(const Dataset& data, StreamingOptions options = {}) {
+  StreamingSkyline stream(data.num_dims(), options);
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    stream.Insert(data.point(p));
+  }
+  return stream;
+}
+
+struct StreamCase {
+  DataType type;
+  unsigned dims;
+  std::size_t points;
+  std::size_t bootstrap;
+  std::uint64_t seed;
+};
+
+class StreamingEquivalenceTest : public ::testing::TestWithParam<StreamCase> {};
+
+// The invariant everything else rests on: after any prefix of inserts,
+// the streaming skyline equals the batch skyline of the prefix.
+TEST_P(StreamingEquivalenceTest, MatchesBatchSkylineAtEveryCheckpoint) {
+  const auto& c = GetParam();
+  Dataset data = Generate(c.type, c.points, c.dims, c.seed);
+  StreamingOptions options;
+  options.bootstrap_size = c.bootstrap;
+  StreamingSkyline stream(data.num_dims(), options);
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    stream.Insert(data.point(p));
+    // Check at a few prefixes, including right around the freeze.
+    const std::size_t sz = p + 1;
+    if (sz == c.bootstrap - 1 || sz == c.bootstrap ||
+        sz == c.bootstrap + 1 || sz == c.points / 2 || sz == c.points) {
+      Dataset prefix(data.num_dims(),
+                     std::vector<Value>(data.values().begin(),
+                                        data.values().begin() +
+                                            sz * data.num_dims()));
+      ASSERT_TRUE(SameIdSet(stream.Skyline(), ReferenceSkyline(prefix)))
+          << "prefix " << sz;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StreamingEquivalenceTest,
+    ::testing::Values(
+        StreamCase{DataType::kUniformIndependent, 4, 600, 64, 1},
+        StreamCase{DataType::kUniformIndependent, 8, 600, 64, 2},
+        StreamCase{DataType::kAntiCorrelated, 5, 500, 32, 3},
+        StreamCase{DataType::kCorrelated, 6, 500, 64, 4},
+        StreamCase{DataType::kUniformIndependent, 3, 400, 8, 5},
+        // bootstrap larger than the stream: never freezes
+        StreamCase{DataType::kUniformIndependent, 4, 200, 1000, 6}));
+
+TEST(StreamingSkylineTest, InsertReportsSkylineMembershipAtArrival) {
+  StreamingSkyline stream(2, {.bootstrap_size = 2});
+  const Value a[] = {5, 5};
+  const Value b[] = {3, 3};
+  const Value c[] = {4, 4};
+  EXPECT_TRUE(stream.Insert(a));   // first point is always skyline
+  EXPECT_TRUE(stream.Insert(b));   // dominates a
+  EXPECT_FALSE(stream.IsSkyline(0));
+  EXPECT_FALSE(stream.Insert(c));  // dominated by b
+  EXPECT_EQ(stream.Skyline(), std::vector<PointId>{1});
+  EXPECT_EQ(stream.stats().evictions, 1u);
+  EXPECT_EQ(stream.stats().rejected_dominated, 1u);
+}
+
+TEST(StreamingSkylineTest, EvictionAfterFreeze) {
+  // Freeze very early, then insert a point dominating an indexed one.
+  StreamingSkyline stream(2, {.bootstrap_size = 2});
+  const Value a[] = {1, 9};
+  const Value b[] = {9, 1};
+  const Value c[] = {5, 5};
+  const Value d[] = {4, 4};  // dominates c after the freeze
+  stream.Insert(a);
+  stream.Insert(b);  // freeze happens here
+  EXPECT_TRUE(stream.Insert(c));
+  EXPECT_TRUE(stream.Insert(d));
+  EXPECT_FALSE(stream.IsSkyline(2));
+  EXPECT_TRUE(SameIdSet(stream.Skyline(), {0, 1, 3}));
+}
+
+TEST(StreamingSkylineTest, DuplicatesAllStayOnSkyline) {
+  StreamingSkyline stream(3, {.bootstrap_size = 4});
+  const Value p[] = {1, 2, 3};
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(stream.Insert(p));
+  EXPECT_EQ(stream.skyline_size(), 6u);
+}
+
+TEST(StreamingSkylineTest, MonotoneImprovingStreamKeepsOnlyLast) {
+  StreamingSkyline stream(2, {.bootstrap_size = 4});
+  for (int i = 10; i >= 1; --i) {
+    const Value row[] = {static_cast<Value>(i), static_cast<Value>(i)};
+    EXPECT_TRUE(stream.Insert(row));
+  }
+  EXPECT_EQ(stream.skyline_size(), 1u);
+  EXPECT_TRUE(stream.IsSkyline(9));
+  EXPECT_EQ(stream.stats().evictions, 9u);
+}
+
+TEST(StreamingSkylineTest, ReferencePointsFrozenFromBootstrapSkyline) {
+  Dataset data = Generate(DataType::kUniformIndependent, 300, 4, 9);
+  StreamingOptions options;
+  options.bootstrap_size = 50;
+  options.max_reference_points = 8;
+  StreamingSkyline stream = Feed(data, options);
+  EXPECT_LE(stream.reference_points().size(), 8u);
+  EXPECT_GE(stream.reference_points().size(), 1u);
+  // References were drawn from the first 50 inserts.
+  for (PointId ref : stream.reference_points()) {
+    EXPECT_LT(ref, 50u);
+  }
+}
+
+TEST(StreamingSkylineTest, StatsAccumulate) {
+  Dataset data = Generate(DataType::kUniformIndependent, 500, 4, 11);
+  StreamingSkyline stream = Feed(data);
+  EXPECT_EQ(stream.stats().inserts, 500u);
+  EXPECT_GT(stream.stats().dominance_tests, 0u);
+  EXPECT_GT(stream.stats().index_queries, 0u);
+  EXPECT_EQ(stream.num_points(), 500u);
+}
+
+TEST(StreamingSkylineTest, IndexPruningBeatsFullScanCandidateCounts) {
+  // The subset masks must keep candidate sets well below "every insert
+  // scans the whole skyline".
+  Dataset data = Generate(DataType::kUniformIndependent, 4000, 8, 13);
+  StreamingSkyline stream = Feed(data);
+  const auto& stats = stream.stats();
+  // Upper bound if every query returned the full current skyline:
+  // inserts * final skyline size is a loose proxy.
+  const double mean_candidates =
+      static_cast<double>(stats.index_candidates) /
+      static_cast<double>(stats.index_queries);
+  EXPECT_LT(mean_candidates,
+            static_cast<double>(stream.skyline_size()) * 0.8);
+}
+
+}  // namespace
+}  // namespace skyline

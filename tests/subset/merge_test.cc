@@ -1,0 +1,193 @@
+#include "src/subset/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+struct MergeCase {
+  DataType type;
+  int sigma;
+  std::uint64_t seed;
+};
+
+class MergePostconditionTest : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(MergePostconditionTest, InvariantsHold) {
+  const auto& param = GetParam();
+  Dataset data = Generate(param.type, 800, 6, param.seed);
+  const Dim d = data.num_dims();
+  MergeResult merge = MergeSubspaces(data, param.sigma);
+
+  // Conservation: every point is a pivot, remaining, or pruned.
+  EXPECT_EQ(merge.pivots.size() + merge.remaining.size() + merge.pruned,
+            data.num_points());
+  EXPECT_EQ(merge.remaining.size(), merge.subspaces.size());
+
+  // Every pivot is a true skyline point.
+  const auto reference = ReferenceSkyline(data);
+  for (PointId pv : merge.pivots) {
+    EXPECT_TRUE(std::find(reference.begin(), reference.end(), pv) !=
+                reference.end())
+        << "pivot " << pv << " is not a skyline point";
+  }
+
+  // No remaining point is dominated by any pivot; every remaining mask is
+  // exactly the union of per-pivot dominating subspaces (Definition 4.1)
+  // and non-empty.
+  for (std::size_t i = 0; i < merge.remaining.size(); ++i) {
+    const PointId q = merge.remaining[i];
+    Subspace expected;
+    for (PointId pv : merge.pivots) {
+      EXPECT_FALSE(Dominates(data.row(pv), data.row(q), d));
+      expected |= DominatingSubspace(data.row(q), data.row(pv), d);
+    }
+    EXPECT_EQ(merge.subspaces[i], expected);
+    EXPECT_FALSE(merge.subspaces[i].empty());
+  }
+
+  // Pivots + remaining together contain the whole skyline (pruned points
+  // are dominated, so never skyline).
+  std::vector<PointId> kept = merge.pivots;
+  kept.insert(kept.end(), merge.remaining.begin(), merge.remaining.end());
+  std::sort(kept.begin(), kept.end());
+  for (PointId s : reference) {
+    EXPECT_TRUE(std::binary_search(kept.begin(), kept.end(), s))
+        << "skyline point " << s << " was pruned";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MergePostconditionTest,
+    ::testing::Values(MergeCase{DataType::kAntiCorrelated, 2, 1},
+                      MergeCase{DataType::kAntiCorrelated, 4, 2},
+                      MergeCase{DataType::kCorrelated, 2, 1},
+                      MergeCase{DataType::kCorrelated, 6, 2},
+                      MergeCase{DataType::kUniformIndependent, 2, 1},
+                      MergeCase{DataType::kUniformIndependent, 3, 2},
+                      MergeCase{DataType::kUniformIndependent, 6, 3}));
+
+TEST(MergeTest, FirstPivotMinimizesAnchoredEuclideanScore) {
+  Dataset data = Generate(DataType::kUniformIndependent, 500, 4, 11);
+  const Dim d = data.num_dims();
+  std::vector<Value> lo(d, std::numeric_limits<Value>::infinity());
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    for (Dim k = 0; k < d; ++k) lo[k] = std::min(lo[k], data.at(p, k));
+  }
+  auto score = [&](PointId p) {
+    Value s = 0;
+    for (Dim k = 0; k < d; ++k) {
+      const Value v = data.at(p, k) - lo[k];
+      s += v * v;
+    }
+    return s;
+  };
+  MergeResult merge = MergeSubspaces(data, 2);
+  ASSERT_FALSE(merge.pivots.empty());
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    EXPECT_LE(score(merge.pivots.front()), score(p));
+  }
+}
+
+TEST(MergeTest, NegativeValuesAreHandled) {
+  // The anchored score keeps the pivot a skyline point on arbitrary
+  // data; the boosted algorithms stay correct after translation.
+  Dataset base = Generate(DataType::kUniformIndependent, 400, 4, 13);
+  std::vector<Value> values = base.values();
+  for (Value& v : values) v -= Value{0.75};
+  Dataset data(4, std::move(values));
+  MergeResult merge = MergeSubspaces(data, 3);
+  const auto reference = ReferenceSkyline(data);
+  for (PointId pv : merge.pivots) {
+    EXPECT_TRUE(std::find(reference.begin(), reference.end(), pv) !=
+                reference.end());
+  }
+}
+
+TEST(MergeTest, LargerSigmaNeverSelectsFewerPivots) {
+  Dataset data = Generate(DataType::kUniformIndependent, 2000, 8, 5);
+  std::size_t prev = 0;
+  for (int sigma = 2; sigma <= 8; ++sigma) {
+    MergeResult merge = MergeSubspaces(data, sigma);
+    EXPECT_GE(merge.iterations, static_cast<int>(prev > 0 ? 1 : 0));
+    EXPECT_GE(merge.pivots.size(), prev == 0 ? 0 : prev);
+    prev = merge.pivots.size();
+  }
+}
+
+TEST(MergeTest, CorrelatedDataPrunesAlmostEverything) {
+  Dataset data = Generate(DataType::kCorrelated, 5000, 6, 7);
+  MergeResult merge = MergeSubspaces(data, 2);
+  // The near-origin pivot dominates the bulk of CO data.
+  EXPECT_GT(merge.pruned, data.num_points() * 8 / 10);
+}
+
+TEST(MergeTest, DuplicatesOfPivotBecomeSkyline) {
+  Dataset data = Dataset::FromRows({
+      {1, 1}, {1, 1}, {1, 1},  // minimal point + duplicates
+      {3, 2}, {2, 3}, {4, 4},
+  });
+  MergeResult merge = MergeSubspaces(data, 2);
+  // All three duplicates must be in the pivot set.
+  EXPECT_GE(merge.pivots.size(), 3u);
+  for (PointId pv : {0u, 1u, 2u}) {
+    EXPECT_TRUE(std::find(merge.pivots.begin(), merge.pivots.end(), pv) !=
+                merge.pivots.end());
+  }
+}
+
+TEST(MergeTest, EmptyDataset) {
+  Dataset data(4);
+  MergeResult merge = MergeSubspaces(data, 3);
+  EXPECT_TRUE(merge.pivots.empty());
+  EXPECT_TRUE(merge.remaining.empty());
+  EXPECT_EQ(merge.pruned, 0u);
+}
+
+TEST(MergeTest, SinglePoint) {
+  Dataset data = Dataset::FromRows({{2, 3}});
+  MergeResult merge = MergeSubspaces(data, 2);
+  EXPECT_EQ(merge.pivots, std::vector<PointId>{0});
+  EXPECT_TRUE(merge.remaining.empty());
+}
+
+TEST(MergeTest, ChainDataTerminatesWithEmptyActiveSet) {
+  // A totally ordered chain: each pivot prunes the rest; the loop must
+  // exit via the empty-dataset branch, not run forever.
+  Dataset data = Dataset::FromRows({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  MergeResult merge = MergeSubspaces(data, 4);
+  EXPECT_EQ(merge.pivots.size(), 1u);
+  EXPECT_EQ(merge.pruned, 3u);
+  EXPECT_TRUE(merge.remaining.empty());
+}
+
+TEST(MergeTest, DominanceTestsAreCounted) {
+  Dataset data = Generate(DataType::kUniformIndependent, 300, 4, 3);
+  MergeResult merge = MergeSubspaces(data, 2);
+  // At least one full pass over the data per pivot iteration (minus the
+  // points removed along the way), never more than iterations * N scans
+  // plus the duplicate checks.
+  EXPECT_GE(merge.dominance_tests, data.num_points() - 1);
+  EXPECT_LE(merge.dominance_tests,
+            2 * static_cast<std::uint64_t>(merge.iterations) *
+                data.num_points());
+}
+
+TEST(MergeTest, SigmaOneStopsAfterFirstStableBin) {
+  // sigma = 1 is degenerate but legal: the pass stops as soon as any
+  // size bin is unchanged.
+  Dataset data = Generate(DataType::kUniformIndependent, 500, 6, 9);
+  MergeResult merge = MergeSubspaces(data, 1);
+  EXPECT_GE(merge.iterations, 1);
+}
+
+}  // namespace
+}  // namespace skyline

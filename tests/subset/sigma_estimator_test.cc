@@ -1,0 +1,72 @@
+#include "src/subset/sigma_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+
+namespace skyline {
+namespace {
+
+TEST(SigmaEstimatorTest, ReturnsSigmaInValidRange) {
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 5000, 8, 3);
+    SigmaEstimate est = EstimateSigma(data, 1000, 1);
+    EXPECT_GE(est.sigma, 2) << ShortName(type);
+    EXPECT_LE(est.sigma, 8) << ShortName(type);
+    EXPECT_EQ(est.cost_per_sigma.size(), 7u);  // sigma 2..8
+    EXPECT_EQ(est.sample_size, 1000u);
+  }
+}
+
+TEST(SigmaEstimatorTest, PicksTheCheapestSigma) {
+  Dataset data = Generate(DataType::kUniformIndependent, 5000, 8, 7);
+  SigmaEstimate est = EstimateSigma(data, 1500, 2);
+  const double chosen = est.cost_per_sigma[est.sigma - 2];
+  for (double cost : est.cost_per_sigma) {
+    EXPECT_LE(chosen, cost);
+  }
+}
+
+TEST(SigmaEstimatorTest, TiesResolveTowardSmallerSigma) {
+  // On CO data the cost is flat across sigma (nearly everything is
+  // pruned by the first pivots), so the estimator must return sigma = 2.
+  Dataset data = Generate(DataType::kCorrelated, 5000, 8, 5);
+  SigmaEstimate est = EstimateSigma(data, 1000, 3);
+  EXPECT_EQ(est.sigma, 2);
+}
+
+TEST(SigmaEstimatorTest, DeterministicGivenSeed) {
+  Dataset data = Generate(DataType::kUniformIndependent, 3000, 6, 9);
+  SigmaEstimate a = EstimateSigma(data, 800, 42);
+  SigmaEstimate b = EstimateSigma(data, 800, 42);
+  EXPECT_EQ(a.sigma, b.sigma);
+  EXPECT_EQ(a.cost_per_sigma, b.cost_per_sigma);
+}
+
+TEST(SigmaEstimatorTest, SampleLargerThanDataIsClamped) {
+  Dataset data = Generate(DataType::kUniformIndependent, 200, 4, 1);
+  SigmaEstimate est = EstimateSigma(data, 10000, 1);
+  EXPECT_EQ(est.sample_size, 200u);
+  EXPECT_GE(est.sigma, 2);
+  EXPECT_LE(est.sigma, 4);
+}
+
+TEST(SigmaEstimatorTest, DegenerateDimensionality) {
+  Dataset data = Generate(DataType::kUniformIndependent, 100, 1, 1);
+  EXPECT_EQ(EstimateSigma(data, 50, 1).sigma, 1);
+  Dataset empty(3);
+  EXPECT_EQ(EstimateSigma(empty, 50, 1).sigma, 1);
+}
+
+TEST(SigmaEstimatorTest, UniformEightDimFavorsPaperRegime) {
+  // The paper's rule of thumb is round(d/3); the data-driven estimate on
+  // 8-D UI data should land in its neighbourhood, not at the extremes.
+  Dataset data = Generate(DataType::kUniformIndependent, 8000, 8, 21);
+  SigmaEstimate est = EstimateSigma(data, 2000, 4);
+  EXPECT_GE(est.sigma, 2);
+  EXPECT_LE(est.sigma, 5);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,279 @@
+#include "src/subset/subset_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace skyline {
+namespace {
+
+std::vector<PointId> Sorted(std::vector<PointId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SubsetIndexTest, EmptyIndexReturnsNothing) {
+  SubsetIndex index(6);
+  std::vector<PointId> out;
+  index.Query(Subspace{0, 1}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(index.num_nodes(), 0u);
+  EXPECT_EQ(index.num_points(), 0u);
+}
+
+TEST(SubsetIndexTest, PaperFigure3Example) {
+  // The subspaces of Figure 3 (stored *reversed* paths):
+  // {1,2},{1,3,5,7},{1,5},{1,7},{3,5},{3,7},{5,7} over an 8-dim space
+  // (we use 0-based dims 0..7, so the paths are exactly these sets).
+  SubsetIndex index(8);
+  const std::vector<std::pair<PointId, Subspace>> reversed_paths = {
+      {0, Subspace{1, 2}},       {1, Subspace{1, 3, 5, 7}},
+      {2, Subspace{1, 5}},       {3, Subspace{1, 7}},
+      {4, Subspace{3, 5}},       {5, Subspace{3, 7}},
+      {6, Subspace{5, 7}},
+  };
+  for (const auto& [id, rev] : reversed_paths) {
+    index.Add(id, rev.Complement(8));  // Add reverses internally
+  }
+  // Query set {1,3,5} (reversed) should return the points stored at the
+  // subset paths {1,5}, {3,5} — and none containing 2 or 7.
+  std::vector<PointId> out;
+  index.Query(Subspace({1, 3, 5}).Complement(8), &out);
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{2, 4}));
+}
+
+TEST(SubsetIndexTest, AddThenQueryExactSubspace) {
+  SubsetIndex index(4);
+  index.Add(7, Subspace{0, 2});
+  std::vector<PointId> out;
+  index.Query(Subspace{0, 2}, &out);
+  EXPECT_EQ(out, std::vector<PointId>{7});
+}
+
+TEST(SubsetIndexTest, QueryReturnsSupersetSubspacesOnly) {
+  SubsetIndex index(4);
+  index.Add(1, Subspace{0});          // D_1 = {0}
+  index.Add(2, Subspace{0, 1});       // D_2 = {0,1}
+  index.Add(3, Subspace{1});          // D_3 = {1}
+  index.Add(4, Subspace{0, 1, 2});    // D_4 = {0,1,2}
+
+  std::vector<PointId> out;
+  index.Query(Subspace{0, 1}, &out);  // supersets of {0,1}: D_2, D_4
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{2, 4}));
+
+  out.clear();
+  index.Query(Subspace{0}, &out);  // supersets of {0}: D_1, D_2, D_4
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{1, 2, 4}));
+
+  out.clear();
+  index.Query(Subspace{2}, &out);  // supersets of {2}: D_4 only
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{4}));
+}
+
+TEST(SubsetIndexTest, FullSubspaceIsAlwaysCandidate) {
+  SubsetIndex index(4);
+  index.Add(9, Subspace::Full(4));  // reversed path empty -> root
+  for (std::uint64_t bits = 1; bits < 16; ++bits) {
+    std::vector<PointId> out;
+    index.Query(Subspace(bits), &out);
+    EXPECT_EQ(out, std::vector<PointId>{9}) << bits;
+  }
+}
+
+TEST(SubsetIndexTest, AddAlwaysCandidateEqualsFullSubspaceAdd) {
+  SubsetIndex a(5), b(5);
+  a.AddAlwaysCandidate(3);
+  b.Add(3, Subspace::Full(5));
+  for (std::uint64_t bits = 0; bits < 32; ++bits) {
+    std::vector<PointId> out_a, out_b;
+    a.Query(Subspace(bits), &out_a);
+    b.Query(Subspace(bits), &out_b);
+    EXPECT_EQ(out_a, out_b);
+  }
+}
+
+TEST(SubsetIndexTest, MultiplePointsPerSubspaceShareOneNode) {
+  SubsetIndex index(6);
+  index.Add(1, Subspace{2, 4});
+  const std::size_t nodes_after_first = index.num_nodes();
+  index.Add(2, Subspace{2, 4});
+  index.Add(3, Subspace{2, 4});
+  EXPECT_EQ(index.num_nodes(), nodes_after_first);
+  EXPECT_EQ(index.num_points(), 3u);
+  std::vector<PointId> out;
+  index.Query(Subspace{2, 4}, &out);
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{1, 2, 3}));
+}
+
+TEST(SubsetIndexTest, NodeCountMatchesDistinctPrefixes) {
+  SubsetIndex index(8);
+  // Reversed paths: {0,1} and {0,2} share the prefix node 0.
+  index.Add(1, Subspace({0, 1}).Complement(8));
+  index.Add(2, Subspace({0, 2}).Complement(8));
+  EXPECT_EQ(index.num_nodes(), 3u);  // nodes 0, 0->1, 0->2
+}
+
+TEST(SubsetIndexTest, NodesVisitedCounterGrows) {
+  SubsetIndex index(6);
+  index.Add(1, Subspace{0});
+  index.Add(2, Subspace{1});
+  std::uint64_t visited = 0;
+  std::vector<PointId> out;
+  index.Query(Subspace{0}, &out, &visited);
+  EXPECT_GT(visited, 0u);
+}
+
+// Property test: the index must agree with a brute-force superset filter
+// over random mask multisets and random queries.
+class SubsetIndexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetIndexPropertyTest, AgreesWithBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  const Dim d = 2 + static_cast<Dim>(rng() % 14);  // 2..15 dims
+  const std::uint64_t space = Subspace::Full(d).bits();
+  SubsetIndex index(d);
+  std::vector<std::pair<PointId, Subspace>> stored;
+  for (PointId id = 0; id < 300; ++id) {
+    Subspace mask(rng() & space);
+    if (mask.empty()) mask = Subspace::Full(d);
+    index.Add(id, mask);
+    stored.emplace_back(id, mask);
+  }
+  for (int q = 0; q < 100; ++q) {
+    Subspace query(rng() & space);
+    std::vector<PointId> got;
+    index.Query(query, &got);
+    std::vector<PointId> expected;
+    for (const auto& [id, mask] : stored) {
+      if (mask.IsSupersetOf(query)) expected.push_back(id);
+    }
+    ASSERT_EQ(Sorted(got), Sorted(expected))
+        << "d=" << d << " query=" << query.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetIndexPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(SubsetIndexTest, QueryContainedReturnsSubsetSubspacesOnly) {
+  SubsetIndex index(4);
+  index.Add(1, Subspace{0});
+  index.Add(2, Subspace{0, 1});
+  index.Add(3, Subspace{1});
+  index.Add(4, Subspace{0, 1, 2});
+
+  std::vector<PointId> out;
+  index.QueryContained(Subspace{0, 1}, &out);  // subsets of {0,1}
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{1, 2, 3}));
+
+  out.clear();
+  index.QueryContained(Subspace{0}, &out);
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{1}));
+
+  out.clear();
+  index.QueryContained(Subspace::Full(4), &out);  // everything
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{1, 2, 3, 4}));
+
+  out.clear();
+  index.QueryContained(Subspace{3}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SubsetIndexTest, QueryAndQueryContainedPartitionOnExactMatch) {
+  // A stored subspace equal to the query is returned by both queries.
+  SubsetIndex index(5);
+  index.Add(9, Subspace{1, 3});
+  std::vector<PointId> sup, sub;
+  index.Query(Subspace{1, 3}, &sup);
+  index.QueryContained(Subspace{1, 3}, &sub);
+  EXPECT_EQ(sup, std::vector<PointId>{9});
+  EXPECT_EQ(sub, std::vector<PointId>{9});
+}
+
+// Property test: QueryContained agrees with brute force.
+class SubsetIndexContainedPropertyTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetIndexContainedPropertyTest, AgreesWithBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  const Dim d = 2 + static_cast<Dim>(rng() % 14);
+  const std::uint64_t space = Subspace::Full(d).bits();
+  SubsetIndex index(d);
+  std::vector<std::pair<PointId, Subspace>> stored;
+  for (PointId id = 0; id < 300; ++id) {
+    Subspace mask(rng() & space);
+    if (mask.empty()) mask = Subspace::Full(d);
+    index.Add(id, mask);
+    stored.emplace_back(id, mask);
+  }
+  for (int q = 0; q < 100; ++q) {
+    Subspace query(rng() & space);
+    std::vector<PointId> got;
+    index.QueryContained(query, &got);
+    std::vector<PointId> expected;
+    for (const auto& [id, mask] : stored) {
+      if (mask.IsSubsetOf(query)) expected.push_back(id);
+    }
+    ASSERT_EQ(Sorted(got), Sorted(expected))
+        << "d=" << d << " query=" << query.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetIndexContainedPropertyTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(SubsetIndexTest, RemoveDeletesExactlyOneOccurrence) {
+  SubsetIndex index(4);
+  index.Add(1, Subspace{0, 2});
+  index.Add(2, Subspace{0, 2});
+  EXPECT_TRUE(index.Remove(1, Subspace{0, 2}));
+  EXPECT_EQ(index.num_points(), 1u);
+  std::vector<PointId> out;
+  index.Query(Subspace{0, 2}, &out);
+  EXPECT_EQ(out, std::vector<PointId>{2});
+  // Removing again fails; removing with the wrong subspace fails.
+  EXPECT_FALSE(index.Remove(1, Subspace{0, 2}));
+  EXPECT_FALSE(index.Remove(2, Subspace{0}));
+  EXPECT_EQ(index.num_points(), 1u);
+}
+
+TEST(SubsetIndexTest, RemoveFromUnknownPathIsRejected) {
+  SubsetIndex index(4);
+  index.Add(1, Subspace{0});
+  EXPECT_FALSE(index.Remove(1, Subspace{1, 2}));
+  EXPECT_EQ(index.num_points(), 1u);
+}
+
+TEST(SubsetIndexTest, AddAfterRemoveWorks) {
+  SubsetIndex index(6);
+  index.Add(5, Subspace{1, 4});
+  ASSERT_TRUE(index.Remove(5, Subspace{1, 4}));
+  index.Add(6, Subspace{1, 4});
+  std::vector<PointId> out;
+  index.Query(Subspace{1, 4}, &out);
+  EXPECT_EQ(out, std::vector<PointId>{6});
+}
+
+TEST(SubsetIndexTest, QueryNeverReturnsDuplicates) {
+  std::mt19937_64 rng(77);
+  const Dim d = 10;
+  SubsetIndex index(d);
+  for (PointId id = 0; id < 200; ++id) {
+    Subspace mask(rng() & Subspace::Full(d).bits());
+    if (mask.empty()) mask = Subspace::Single(0);
+    index.Add(id, mask);
+  }
+  for (int q = 0; q < 50; ++q) {
+    Subspace query(rng() & Subspace::Full(d).bits());
+    std::vector<PointId> got;
+    index.Query(query, &got);
+    auto sorted = Sorted(got);
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+}  // namespace
+}  // namespace skyline
