@@ -1,0 +1,68 @@
+// Bench: the parallel subset-boosted engine against its sequential
+// baseline (sfs-subset) and the plain parallel SFS, over worker thread
+// counts. Reduced scale: 100K 8-D uniform-independent points; --full
+// runs the 1M-point configuration of the acceptance experiment. The
+// speedup column is relative to sfs-subset on the same dataset.
+#include <iostream>
+#include <string>
+
+#include "src/data/generator.h"
+#include "src/harness/options.h"
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+#include "src/parallel/parallel_skyline.h"
+#include "src/parallel/parallel_subset.h"
+#include "src/subset/boosted.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const std::size_t n = opts.full ? 1000000 : 100000;
+  const Dim d = 8;
+
+  Dataset data = Generate(DataType::kUniformIndependent, n, d, opts.seed);
+  std::cerr << "  [parallel-subset] generated " << n << " x " << unsigned(d)
+            << " UI points\n";
+
+  TextTable table({"algorithm", "threads", "RT (ms)", "DT/point",
+                   "speedup vs sfs-subset"});
+
+  SfsSubset baseline;
+  RunResult base = RunAlgorithm(baseline, data, opts.EffectiveRuns());
+  table.AddRow({"sfs-subset", "1", TextTable::FormatNumber(base.elapsed_ms),
+                TextTable::FormatNumber(base.mean_dominance_tests), "1.00"});
+  std::cerr << "  [parallel-subset] sfs-subset done (" << base.elapsed_ms
+            << " ms)\n";
+
+  auto speedup = [&](double elapsed_ms) {
+    return TextTable::FormatNumber(elapsed_ms > 0 ? base.elapsed_ms / elapsed_ms
+                                                  : 0.0);
+  };
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ParallelSubsetSfs algo(threads);
+    RunResult r = RunAlgorithm(algo, data, opts.EffectiveRuns());
+    table.AddRow({"parallel-subset-sfs", std::to_string(threads),
+                  TextTable::FormatNumber(r.elapsed_ms),
+                  TextTable::FormatNumber(r.mean_dominance_tests),
+                  speedup(r.elapsed_ms)});
+    std::cerr << "  [parallel-subset] parallel-subset-sfs threads=" << threads
+              << " done (" << r.elapsed_ms << " ms)\n";
+  }
+
+  for (unsigned threads : {1u, 8u}) {
+    ParallelSfs algo(threads);
+    RunResult r = RunAlgorithm(algo, data, opts.EffectiveRuns());
+    table.AddRow({"parallel-sfs", std::to_string(threads),
+                  TextTable::FormatNumber(r.elapsed_ms),
+                  TextTable::FormatNumber(r.mean_dominance_tests),
+                  speedup(r.elapsed_ms)});
+    std::cerr << "  [parallel-subset] parallel-sfs threads=" << threads
+              << " done (" << r.elapsed_ms << " ms)\n";
+  }
+
+  table.Print(std::cout,
+              "Parallel subset-boosted skyline (" + std::to_string(unsigned(d)) +
+                  "-D UI, " + std::to_string(n) + " points)");
+  return 0;
+}

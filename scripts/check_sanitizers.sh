@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI-style sanitizer gate: builds the library + tests under
+# ThreadSanitizer and AddressSanitizer/UBSan (CMakePresets.json presets
+# `tsan` and `asan`) and runs the parallel + subset test suites under
+# each. Any reported race / memory error fails the ctest run, because
+# both sanitizers exit non-zero on findings.
+#
+# Usage: scripts/check_sanitizers.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+# The suites exercising the concurrent code paths and the subset
+# machinery they share. Keep in sync with tests/parallel/ and
+# tests/subset/ test names.
+FILTER='Parallel|Subset|Merge|WorkPartitioner|Determinism|Differential'
+
+for preset in tsan asan; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build "build-$preset" -j "$JOBS"
+  echo "==== [$preset] ctest (-R '$FILTER') ===="
+  # halt_on_error makes TSan fail fast inside ctest instead of just
+  # logging; second_deadlock_stack improves lock-order reports.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    ctest --test-dir "build-$preset" -j "$JOBS" \
+          --output-on-failure -R "$FILTER"
+done
+
+echo "All sanitizer suites passed."

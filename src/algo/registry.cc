@@ -10,6 +10,7 @@
 #include "src/algo/sdi.h"
 #include "src/algo/sfs.h"
 #include "src/parallel/parallel_skyline.h"
+#include "src/parallel/parallel_subset.h"
 #include "src/subset/boosted.h"
 
 namespace skyline {
@@ -32,6 +33,9 @@ std::unique_ptr<SkylineAlgorithm> MakeAlgorithm(
   if (name == "parallel-sfs") {
     return std::make_unique<ParallelSfs>(0, options);
   }
+  if (name == "parallel-subset-sfs") {
+    return std::make_unique<ParallelSubsetSfs>(0, options);
+  }
   return nullptr;
 }
 
@@ -39,7 +43,7 @@ std::vector<std::string> AlgorithmNames() {
   return {"bnl",        "sfs",          "less",         "salsa",
           "sdi",        "index",        "dnc",          "bbs",
           "bskytree-s", "bskytree-p",   "sfs-subset",   "salsa-subset",
-          "sdi-subset", "parallel-sfs"};
+          "sdi-subset", "parallel-sfs", "parallel-subset-sfs"};
 }
 
 std::vector<std::pair<std::string, std::string>> BoostedPairs() {

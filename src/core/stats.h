@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace skyline {
 
@@ -64,6 +65,34 @@ struct SkylineStats {
     merge_pruned += other.merge_pruned;
     tests_skipped += other.tests_skipped;
   }
+};
+
+/// Per-work-unit counter slots for the parallel engines.
+///
+/// Each work unit (partition) owns one slot; a worker fills the slot of
+/// the unit it is executing and never touches another unit's slot, so no
+/// synchronization is needed beyond the thread join. `Combine` folds the
+/// slots in slot order — totals therefore depend only on the work
+/// decomposition, never on thread count or scheduling, which is what
+/// makes the parallel engines' SkylineStats reproducible bit-for-bit.
+class StatsAccumulator {
+ public:
+  explicit StatsAccumulator(std::size_t num_slots) : slots_(num_slots) {}
+
+  SkylineStats& slot(std::size_t i) { return slots_[i]; }
+  const SkylineStats& slot(std::size_t i) const { return slots_[i]; }
+  std::size_t num_slots() const { return slots_.size(); }
+
+  /// Slot counters accumulated in slot order (skyline_size is left to
+  /// the caller — partial sizes do not add up to the final skyline).
+  SkylineStats Combine() const {
+    SkylineStats total;
+    for (const SkylineStats& s : slots_) total.Accumulate(s);
+    return total;
+  }
+
+ private:
+  std::vector<SkylineStats> slots_;
 };
 
 }  // namespace skyline

@@ -1,12 +1,11 @@
 #include "src/parallel/parallel_skyline.h"
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
-#include <thread>
 
 #include "src/core/dominance.h"
 #include "src/core/scores.h"
+#include "src/parallel/work_partitioner.h"
 
 namespace skyline {
 
@@ -48,71 +47,58 @@ std::vector<PointId> ParallelSfs::Compute(const Dataset& data,
   if (stats != nullptr) *stats = SkylineStats{};
   if (n == 0) return {};
 
-  unsigned threads = threads_ > 0 ? threads_
-                                  : std::max(1u, std::thread::hardware_concurrency());
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, (n + 63) / 64));  // keep chunks sane
+  const std::size_t num_parts =
+      partitions_ > 0 ? partitions_ : DeterministicPartitionCount(n);
+  const unsigned workers = EffectiveWorkers(threads_, num_parts);
 
   const std::vector<Value> scores = ComputeScores(data, options_.sort);
 
   // Phase 1: local skylines of contiguous partitions, in parallel.
-  std::vector<std::vector<PointId>> local(threads);
-  std::vector<std::uint64_t> tests(threads, 0);
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        const std::size_t lo = n * t / threads;
-        const std::size_t hi = n * (t + 1) / threads;
-        std::vector<PointId> ids(hi - lo);
-        std::iota(ids.begin(), ids.end(), static_cast<PointId>(lo));
-        local[t] = LocalSkyline(data, std::move(ids), scores, &tests[t]);
-      });
-    }
-    for (auto& w : workers) w.join();
-  }
+  std::vector<std::vector<PointId>> local(num_parts);
+  StatsAccumulator local_stats(num_parts);
+  ParallelForEachUnit(num_parts, workers, [&](std::size_t t) {
+    const std::size_t lo = n * t / num_parts;
+    const std::size_t hi = n * (t + 1) / num_parts;
+    std::vector<PointId> ids(hi - lo);
+    std::iota(ids.begin(), ids.end(), static_cast<PointId>(lo));
+    local[t] = LocalSkyline(data, std::move(ids), scores,
+                            &local_stats.slot(t).dominance_tests);
+  });
 
   // Phase 2: cross-filter. A survivor of partition t is a global skyline
   // point iff no local skyline point of another partition dominates it
   // (a dominator elsewhere is itself weakly dominated by a local skyline
   // point of its partition, which then also dominates the survivor).
-  std::vector<std::vector<PointId>> surviving(threads);
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        std::uint64_t local_tests = 0;
-        for (PointId p : local[t]) {
-          bool dominated = false;
-          for (unsigned o = 0; o < threads && !dominated; ++o) {
-            if (o == t) continue;
-            for (PointId q : local[o]) {
-              ++local_tests;
-              if (Dominates(data.row(q), data.row(p), d)) {
-                dominated = true;
-                break;
-              }
-            }
+  std::vector<std::vector<PointId>> surviving(num_parts);
+  StatsAccumulator cross_stats(num_parts);
+  ParallelForEachUnit(num_parts, workers, [&](std::size_t t) {
+    std::uint64_t local_tests = 0;
+    for (PointId p : local[t]) {
+      bool dominated = false;
+      for (std::size_t o = 0; o < num_parts && !dominated; ++o) {
+        if (o == t) continue;
+        for (PointId q : local[o]) {
+          ++local_tests;
+          if (Dominates(data.row(q), data.row(p), d)) {
+            dominated = true;
+            break;
           }
-          if (!dominated) surviving[t].push_back(p);
         }
-        tests[t] += local_tests;
-      });
+      }
+      if (!dominated) surviving[t].push_back(p);
     }
-    for (auto& w : workers) w.join();
-  }
+    cross_stats.slot(t).dominance_tests = local_tests;
+  });
 
   std::vector<PointId> result;
-  std::uint64_t total_tests = 0;
-  for (unsigned t = 0; t < threads; ++t) {
+  for (std::size_t t = 0; t < num_parts; ++t) {
     result.insert(result.end(), surviving[t].begin(), surviving[t].end());
-    total_tests += tests[t];
   }
   if (stats != nullptr) {
-    stats->dominance_tests = total_tests;
-    stats->skyline_size = result.size();
+    SkylineStats total = local_stats.Combine();
+    total.Accumulate(cross_stats.Combine());
+    total.skyline_size = result.size();
+    *stats = total;
   }
   return result;
 }

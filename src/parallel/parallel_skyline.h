@@ -4,6 +4,11 @@
 // then cross-filter the local skylines in parallel. Dominance is
 // transitive, so filtering against the other partitions' *local
 // skylines* (rather than their full partitions) is complete.
+//
+// The work decomposition (partition count) is a pure function of the
+// input size, and threads claim partitions from a shared cursor
+// (src/parallel/work_partitioner.h) — so both the result and every
+// SkylineStats counter are identical for any thread count.
 #ifndef SKYLINE_PARALLEL_PARALLEL_SKYLINE_H_
 #define SKYLINE_PARALLEL_PARALLEL_SKYLINE_H_
 
@@ -13,13 +18,17 @@ namespace skyline {
 
 /// Multi-threaded partition + cross-filter skyline. Local skylines use
 /// the SFS scan. Deterministic: the result and the dominance-test count
-/// do not depend on thread scheduling.
+/// do not depend on thread scheduling or thread count.
 class ParallelSfs final : public SkylineAlgorithm {
  public:
-  /// `threads` = 0 picks std::thread::hardware_concurrency().
+  /// `threads` = 0 picks std::thread::hardware_concurrency();
+  /// `partitions` = 0 picks DeterministicPartitionCount(n). Overriding
+  /// `partitions` changes the work decomposition (and thus the
+  /// counters); overriding `threads` never does.
   explicit ParallelSfs(unsigned threads = 0,
-                       const AlgorithmOptions& options = {})
-      : threads_(threads), options_(options) {}
+                       const AlgorithmOptions& options = {},
+                       std::size_t partitions = 0)
+      : threads_(threads), partitions_(partitions), options_(options) {}
 
   std::string_view name() const override { return "parallel-sfs"; }
 
@@ -30,6 +39,7 @@ class ParallelSfs final : public SkylineAlgorithm {
 
  private:
   unsigned threads_;
+  std::size_t partitions_;
   AlgorithmOptions options_;
 };
 

@@ -1,0 +1,231 @@
+#include "src/parallel/parallel_subset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "src/core/dominance.h"
+#include "src/core/scores.h"
+#include "src/parallel/work_partitioner.h"
+#include "src/subset/merge.h"
+#include "src/subset/subset_index.h"
+
+namespace skyline {
+
+namespace {
+
+/// Local skyline of one partition, as produced by the Merge pass plus a
+/// boosted SFS scan restricted to the partition.
+struct LocalResult {
+  /// The partition's pivots (skyline points of the partition by
+  /// construction) — together across partitions they form the global
+  /// reference set S_glob.
+  std::vector<PointId> pivots;
+
+  /// Non-pivot local skyline points, in acceptance (monotone score)
+  /// order, with their masks relative to this partition's pivots.
+  std::vector<PointId> accepted;
+  std::vector<Subspace> accepted_masks;
+};
+
+/// A partition's local skyline after re-basing onto the global pivot
+/// union: members not eliminated by a foreign pivot, with full
+/// D_{p<S_glob} masks.
+struct RebasedResult {
+  std::vector<PointId> members;
+  std::vector<Subspace> masks;
+};
+
+}  // namespace
+
+std::vector<PointId> ParallelSubsetSfs::Compute(const Dataset& data,
+                                                SkylineStats* stats) const {
+  const std::size_t n = data.num_points();
+  const Dim d = data.num_dims();
+  if (stats != nullptr) *stats = SkylineStats{};
+  if (n == 0) return {};
+
+  const std::size_t num_parts =
+      partitions_ > 0 ? partitions_ : DeterministicPartitionCount(n);
+  const unsigned workers = EffectiveWorkers(threads_, num_parts);
+  const int sigma = EffectiveSigma(options_.sigma, d);
+
+  // Global monotone order (score, sum, id) — the same order SfsSubset
+  // scans in. Dealing it round-robin keeps every partition sorted and
+  // statistically identical, so the per-partition Merge passes see
+  // comparable inputs and the local scans need no re-sort.
+  const std::vector<Value> scores = ComputeScores(data, options_.sort);
+  const std::vector<Value> sums =
+      options_.sort == ScoreFunction::kSum
+          ? std::vector<Value>{}
+          : ComputeScores(data, ScoreFunction::kSum);
+  std::vector<PointId> sorted_ids(n);
+  std::iota(sorted_ids.begin(), sorted_ids.end(), PointId{0});
+  std::sort(sorted_ids.begin(), sorted_ids.end(), [&](PointId a, PointId b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    if (!sums.empty() && sums[a] != sums[b]) return sums[a] < sums[b];
+    return a < b;
+  });
+  const std::vector<std::vector<PointId>> partitions =
+      DealRoundRobin(sorted_ids, num_parts);
+
+  // ---- Phase 1: parallel Merge pass + local boosted SFS. ----
+  // Pivots are deliberately *not* registered in the local index: the
+  // Merge pass already compared every survivor against every pivot, so
+  // re-testing them (as the sequential SfsSubset faithfully does) adds
+  // nothing here.
+  std::vector<LocalResult> locals(num_parts);
+  StatsAccumulator local_stats(num_parts);
+  ParallelForEachUnit(num_parts, workers, [&](std::size_t t) {
+    SkylineStats s;
+    MergeResult merge = MergeSubspacesOver(data, partitions[t], sigma);
+    s.dominance_tests += merge.dominance_tests;
+    s.pivot_count = merge.pivots.size();
+    s.merge_pruned = merge.pruned;
+
+    SubsetIndex index(d);
+    LocalResult& local = locals[t];
+    std::vector<PointId> candidates;
+    // merge.remaining preserves the partition's (score, sum, id) order,
+    // so the scan is a valid SFS without re-sorting.
+    for (std::size_t i = 0; i < merge.remaining.size(); ++i) {
+      const PointId q = merge.remaining[i];
+      const Subspace mask = merge.subspaces[i];
+      candidates.clear();
+      index.Query(mask, &candidates, &s.index_nodes_visited);
+      ++s.index_queries;
+      s.index_candidates += candidates.size();
+      bool dominated = false;
+      for (PointId sk : candidates) {
+        ++s.dominance_tests;
+        if (Dominates(data.row(sk), data.row(q), d)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        local.accepted.push_back(q);
+        local.accepted_masks.push_back(mask);
+        index.Add(q, mask);
+      }
+    }
+    local.pivots = std::move(merge.pivots);
+    local_stats.slot(t) = s;
+  });
+
+  // Single partition: the local skyline IS the skyline — no foreign
+  // pivots to re-base against, nothing to cross-filter.
+  if (num_parts == 1) {
+    std::vector<PointId> result = std::move(locals[0].pivots);
+    result.insert(result.end(), locals[0].accepted.begin(),
+                  locals[0].accepted.end());
+    if (stats != nullptr) {
+      SkylineStats total = local_stats.Combine();
+      total.skyline_size = result.size();
+      *stats = total;
+    }
+    return result;
+  }
+
+  // ---- Phase 2: re-base masks onto the global pivot union S_glob and
+  // build the per-partition slices of the shared index. ----
+  // Stored masks must be the *full* D_{p<S_glob} for Lemma 5.1 to hold
+  // against any querying point, so pivots also collect contributions
+  // from their own partition's sibling pivots (which, being mutually
+  // non-dominating, can only add dimensions, never eliminate).
+  std::vector<RebasedResult> rebased(num_parts);
+  std::vector<SubsetIndex> slices;
+  slices.reserve(num_parts);
+  for (std::size_t t = 0; t < num_parts; ++t) slices.emplace_back(d);
+  StatsAccumulator rebase_stats(num_parts);
+  ParallelForEachUnit(num_parts, workers, [&](std::size_t t) {
+    SkylineStats s;
+    RebasedResult& out = rebased[t];
+    const LocalResult& local = locals[t];
+    out.members.reserve(local.pivots.size() + local.accepted.size());
+    out.masks.reserve(out.members.capacity());
+
+    auto rebase = [&](PointId p, Subspace base, bool include_own_pivots) {
+      const Value* row = data.row(p);
+      Subspace gmask = base;
+      for (std::size_t o = 0; o < num_parts; ++o) {
+        if (o == t && !include_own_pivots) continue;
+        for (PointId v : locals[o].pivots) {
+          if (v == p) continue;
+          bool p_worse = false;
+          const Subspace m =
+              DominatingSubspaceEx(row, data.row(v), d, &p_worse);
+          ++s.dominance_tests;
+          if (m.empty() && p_worse) return;  // a pivot dominates p
+          gmask |= m;
+        }
+      }
+      out.members.push_back(p);
+      out.masks.push_back(gmask);
+      slices[t].Add(p, gmask);
+    };
+
+    for (PointId p : local.pivots) {
+      rebase(p, Subspace{}, /*include_own_pivots=*/true);
+    }
+    for (std::size_t i = 0; i < local.accepted.size(); ++i) {
+      // The local mask already holds this partition's pivot
+      // contributions — only foreign pivots are left to fold in.
+      rebase(local.accepted[i], local.accepted_masks[i],
+             /*include_own_pivots=*/false);
+    }
+    rebase_stats.slot(t) = s;
+  });
+
+  // Splice the slices into one shared index (cheap: tree merge over the
+  // surviving skyline candidates only). Partition order keeps the tree
+  // — and thus every later query's candidate order — deterministic.
+  SubsetIndex global_index(d);
+  for (std::size_t t = 0; t < num_parts; ++t) {
+    global_index.MergeFrom(std::move(slices[t]));
+  }
+
+  // ---- Phase 3: parallel cross-filter against the shared index. ----
+  // Query is const and touches no mutable state, so all workers read
+  // the shared index concurrently without synchronization.
+  std::vector<std::vector<PointId>> surviving(num_parts);
+  StatsAccumulator cross_stats(num_parts);
+  ParallelForEachUnit(num_parts, workers, [&](std::size_t t) {
+    SkylineStats s;
+    std::vector<PointId> candidates;
+    const RebasedResult& mine = rebased[t];
+    for (std::size_t i = 0; i < mine.members.size(); ++i) {
+      const PointId p = mine.members[i];
+      candidates.clear();
+      global_index.Query(mine.masks[i], &candidates, &s.index_nodes_visited);
+      ++s.index_queries;
+      s.index_candidates += candidates.size();
+      bool dominated = false;
+      for (PointId cand : candidates) {
+        if (cand == p) continue;
+        ++s.dominance_tests;
+        if (Dominates(data.row(cand), data.row(p), d)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) surviving[t].push_back(p);
+    }
+    cross_stats.slot(t) = s;
+  });
+
+  std::vector<PointId> result;
+  for (std::size_t t = 0; t < num_parts; ++t) {
+    result.insert(result.end(), surviving[t].begin(), surviving[t].end());
+  }
+  if (stats != nullptr) {
+    SkylineStats total = local_stats.Combine();
+    total.Accumulate(rebase_stats.Combine());
+    total.Accumulate(cross_stats.Combine());
+    total.skyline_size = result.size();
+    *stats = total;
+  }
+  return result;
+}
+
+}  // namespace skyline

@@ -1,0 +1,73 @@
+// Parallel subset-boosted skyline engine.
+//
+// Parallelizes the paper's subset approach with a partition +
+// cross-filter scheme in which *both* sides keep the reduced-dominance-
+// test guarantee of Lemma 5.1:
+//
+//  1. The score-sorted input is dealt round-robin into P deterministic
+//     partitions; each partition runs the Merge subspace-union pass
+//     (Algorithm 1) and a boosted SFS scan against a thread-local
+//     SubsetIndex, producing its local skyline (pivots + accepted
+//     points with masks relative to the partition's pivots).
+//  2. The local masks are re-based onto the union of all partitions'
+//     pivots: for a local skyline point p, D_{p<S_glob} is the union of
+//     its local mask and D_{p<v} over every foreign pivot v. A foreign
+//     pivot that weakly dominates p eliminates it on the spot. Lemma
+//     5.1 needs a reference set shared by the stored and the querying
+//     point — re-basing to the global pivot union is what makes one
+//     shared index sound.
+//  3. The re-based per-partition indexes are spliced into one global
+//     SubsetIndex (SubsetIndex::MergeFrom), and every surviving local
+//     skyline point is cross-filtered against it in parallel: a query
+//     with the point's global mask returns exactly the stored points
+//     whose mask is a superset — by Lemma 5.1 the only possible
+//     dominators — instead of all other partitions' local skylines.
+//
+// Completeness of the cross-filter is the standard transitivity
+// argument, with one twist for the eliminated points: if z dominates p,
+// the local skyline of z's partition holds a weak dominator s of z (so
+// s dominates p). If s itself was eliminated in step 2, its eliminating
+// pivot dominates p too, and elimination chains strictly decrease the
+// monotone Merge score, so they terminate at a stored point — which the
+// index query then returns. See docs/algorithms.md.
+//
+// Results and every SkylineStats counter are deterministic for any
+// thread count: the partition count depends only on the input size, all
+// partition-local work is scheduling-independent, and counters are
+// folded in partition order (StatsAccumulator).
+#ifndef SKYLINE_PARALLEL_PARALLEL_SUBSET_H_
+#define SKYLINE_PARALLEL_PARALLEL_SUBSET_H_
+
+#include "src/algo/algorithm.h"
+
+namespace skyline {
+
+/// Multi-threaded subset-boosted skyline (parallel Merge pass + shared
+/// subset-index cross-filter).
+class ParallelSubsetSfs final : public SkylineAlgorithm {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency();
+  /// `partitions` = 0 picks DeterministicPartitionCount(n). Overriding
+  /// `partitions` changes the work decomposition (and thus the
+  /// counters); overriding `threads` never does.
+  explicit ParallelSubsetSfs(unsigned threads = 0,
+                             const AlgorithmOptions& options = {},
+                             std::size_t partitions = 0)
+      : threads_(threads), partitions_(partitions), options_(options) {}
+
+  std::string_view name() const override { return "parallel-subset-sfs"; }
+
+  using SkylineAlgorithm::Compute;
+
+  std::vector<PointId> Compute(const Dataset& data,
+                               SkylineStats* stats) const override;
+
+ private:
+  unsigned threads_;
+  std::size_t partitions_;
+  AlgorithmOptions options_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_PARALLEL_PARALLEL_SUBSET_H_

@@ -1,0 +1,58 @@
+#include "src/parallel/work_partitioner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace skyline {
+
+std::size_t DeterministicPartitionCount(std::size_t n) {
+  const std::size_t by_size = (n + 255) / 256;
+  return std::clamp<std::size_t>(by_size, 1, 32);
+}
+
+unsigned EffectiveWorkers(unsigned requested, std::size_t num_units) {
+  unsigned workers =
+      requested > 0 ? requested
+                    : std::max(1u, std::thread::hardware_concurrency());
+  if (num_units < workers) workers = static_cast<unsigned>(num_units);
+  return std::max(1u, workers);
+}
+
+void ParallelForEachUnit(std::size_t num_units, unsigned workers,
+                         const std::function<void(std::size_t)>& fn) {
+  if (num_units == 0) return;
+  workers = EffectiveWorkers(workers, num_units);
+  if (workers == 1) {
+    for (std::size_t unit = 0; unit < num_units; ++unit) fn(unit);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t unit = cursor.fetch_add(1, std::memory_order_relaxed);
+           unit < num_units;
+           unit = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        fn(unit);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+std::vector<std::vector<PointId>> DealRoundRobin(std::span<const PointId> ids,
+                                                 std::size_t num_partitions) {
+  std::vector<std::vector<PointId>> buckets(num_partitions);
+  if (num_partitions == 0) return buckets;
+  for (std::vector<PointId>& bucket : buckets) {
+    bucket.reserve(ids.size() / num_partitions + 1);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    buckets[i % num_partitions].push_back(ids[i]);
+  }
+  return buckets;
+}
+
+}  // namespace skyline

@@ -1,0 +1,51 @@
+// Deterministic work decomposition for the parallel skyline engines.
+//
+// The engines separate *what* the work units are from *who* executes
+// them: the number of partitions is a pure function of the input size,
+// and threads claim partitions dynamically from a shared cursor. Every
+// partition-local computation (and its SkylineStats slot) is therefore
+// identical for any thread count — scheduling decides only the wall
+// clock, never the result or the counters.
+#ifndef SKYLINE_PARALLEL_WORK_PARTITIONER_H_
+#define SKYLINE_PARALLEL_WORK_PARTITIONER_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace skyline {
+
+/// Number of work partitions for an n-point input: one per 256 points,
+/// capped at 32, at least 1. Depends on n only — never on the thread
+/// count — so partition-local results are reproducible on any machine.
+std::size_t DeterministicPartitionCount(std::size_t n);
+
+/// Worker threads to actually spawn: `requested` (0 = hardware
+/// concurrency), clamped to [1, num_units] — more workers than units
+/// would only idle.
+unsigned EffectiveWorkers(unsigned requested, std::size_t num_units);
+
+/// Runs fn(unit) once for every unit in [0, num_units), distributing
+/// units over `workers` threads (clamped via EffectiveWorkers; 1 worker
+/// runs inline). Units are claimed from a shared atomic cursor, so
+/// uneven units load-balance. Calls for distinct units may run
+/// concurrently — fn must only touch per-unit state — and every call
+/// happens-before the return (the threads are joined).
+void ParallelForEachUnit(std::size_t num_units, unsigned workers,
+                         const std::function<void(std::size_t)>& fn);
+
+/// Deals `ids` round-robin into `num_partitions` buckets: bucket t gets
+/// ids[t], ids[t + P], ids[t + 2P], ... Each bucket preserves the input
+/// order, so dealing a score-sorted id list yields score-sorted buckets
+/// with statistically identical score distributions — the load-balanced
+/// partitioning the parallel subset engine feeds to the per-partition
+/// Merge passes.
+std::vector<std::vector<PointId>> DealRoundRobin(std::span<const PointId> ids,
+                                                 std::size_t num_partitions);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_PARALLEL_WORK_PARTITIONER_H_

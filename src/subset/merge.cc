@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <numeric>
 
 #include "src/core/dominance.h"
 #include "src/core/scores.h"
 
 namespace skyline {
 
-MergeResult MergeSubspaces(const Dataset& data, int sigma) {
+MergeResult MergeSubspacesOver(const Dataset& data,
+                               std::span<const PointId> ids, int sigma) {
   assert(sigma >= 1);
-  const std::size_t n = data.num_points();
+  const std::size_t n = ids.size();
   const Dim d = data.num_dims();
   MergeResult out;
   if (n == 0) return out;
@@ -22,31 +24,32 @@ MergeResult MergeSubspaces(const Dataset& data, int sigma) {
   // origin makes the score strictly monotone under dominance for
   // arbitrary (including negative) values, so the extracted minimum is
   // always a skyline point. For the paper's [0,1] data this coincides
-  // with the distance to the zero point up to the anchor shift.
+  // with the distance to the zero point up to the anchor shift. The
+  // anchor is the minima corner of the `ids` subset — monotonicity is
+  // only ever needed among the points the pass actually sees.
   std::vector<Value> lo(d, std::numeric_limits<Value>::infinity());
-  for (PointId i = 0; i < n; ++i) {
-    const Value* row = data.row(i);
+  for (PointId id : ids) {
+    const Value* row = data.row(id);
     for (Dim k = 0; k < d; ++k) {
       if (row[k] < lo[k]) lo[k] = row[k];
     }
   }
-  std::vector<Value> scores(n);
-  for (PointId i = 0; i < n; ++i) {
-    const Value* row = data.row(i);
+
+  struct Active {
+    PointId id;
+    Value score;
+    Subspace mask;  // maximum dominating subspace so far
+  };
+  std::vector<Active> active(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value* row = data.row(ids[i]);
     Value s = 0;
     for (Dim k = 0; k < d; ++k) {
       const Value v = row[k] - lo[k];
       s += v * v;
     }
-    scores[i] = s;
+    active[i] = {ids[i], s, Subspace{}};
   }
-
-  struct Active {
-    PointId id;
-    Subspace mask;  // maximum dominating subspace so far
-  };
-  std::vector<Active> active(n);
-  for (PointId i = 0; i < n; ++i) active[i] = {i, Subspace{}};
 
   // Histogram of subspace sizes (bins 1..d) after the previous iteration.
   std::vector<std::size_t> prev_hist(d + 1, 0);
@@ -56,9 +59,11 @@ MergeResult MergeSubspaces(const Dataset& data, int sigma) {
     if (active.empty()) break;
 
     // Line 8: the active point with minimal score is a skyline point.
+    // Ties break toward the earliest entry, i.e. the caller's id order,
+    // keeping the pass deterministic for any partitioning.
     std::size_t best = 0;
     for (std::size_t i = 1; i < active.size(); ++i) {
-      if (scores[active[i].id] < scores[active[best].id]) best = i;
+      if (active[i].score < active[best].score) best = i;
     }
     const PointId pivot = active[best].id;
     const Value* pivot_row = data.row(pivot);
@@ -120,6 +125,12 @@ MergeResult MergeSubspaces(const Dataset& data, int sigma) {
     out.subspaces.push_back(q.mask);
   }
   return out;
+}
+
+MergeResult MergeSubspaces(const Dataset& data, int sigma) {
+  std::vector<PointId> ids(data.num_points());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  return MergeSubspacesOver(data, ids, sigma);
 }
 
 }  // namespace skyline

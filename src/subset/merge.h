@@ -13,6 +13,7 @@
 #define SKYLINE_SUBSET_MERGE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/core/dataset.h"
@@ -53,6 +54,14 @@ struct MergeResult {
 /// is strictly monotone under dominance and the extracted minimum is a
 /// skyline point (the paper's datasets are all non-negative).
 MergeResult MergeSubspaces(const Dataset& data, int sigma);
+
+/// Algorithm 1 restricted to the points in `ids` (each id < num_points,
+/// no duplicates): pivots, survivors and subspaces refer only to those
+/// points, and the score anchor is the minima corner of the subset. This
+/// is the per-partition building block of the parallel subset engine;
+/// `MergeSubspaces` is the full-span special case.
+MergeResult MergeSubspacesOver(const Dataset& data,
+                               std::span<const PointId> ids, int sigma);
 
 }  // namespace skyline
 

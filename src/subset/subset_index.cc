@@ -86,6 +86,43 @@ void SubsetIndex::QueryContained(Subspace subspace, std::vector<PointId>* out,
                      nodes_visited);
 }
 
+std::size_t SubsetIndex::CountSubtreeNodes(const Node& node) {
+  std::size_t count = 1;
+  for (const auto& [dim, child] : node.children) {
+    (void)dim;
+    count += CountSubtreeNodes(*child);
+  }
+  return count;
+}
+
+void SubsetIndex::MergeNodes(Node* dst, Node&& src, std::size_t* new_nodes) {
+  dst->points.insert(dst->points.end(), src.points.begin(), src.points.end());
+  for (auto& [dim, child] : src.children) {
+    auto it = std::lower_bound(
+        dst->children.begin(), dst->children.end(), dim,
+        [](const auto& entry, Dim key) { return entry.first < key; });
+    if (it == dst->children.end() || it->first != dim) {
+      // No matching path on this side: adopt the whole subtree.
+      *new_nodes += CountSubtreeNodes(*child);
+      dst->children.emplace(it, dim, std::move(child));
+    } else {
+      MergeNodes(it->second.get(), std::move(*child), new_nodes);
+    }
+  }
+}
+
+void SubsetIndex::MergeFrom(SubsetIndex&& other) {
+  assert(other.num_dims_ == num_dims_);
+  std::size_t new_nodes = 0;
+  const std::size_t moved_points = other.num_points_;
+  MergeNodes(&root_, std::move(other.root_), &new_nodes);
+  num_nodes_ += new_nodes;
+  num_points_ += moved_points;
+  other.root_ = Node{};
+  other.num_nodes_ = 0;
+  other.num_points_ = 0;
+}
+
 bool SubsetIndex::Remove(PointId id, Subspace subspace) {
   Node* node = &root_;
   bool found_path = true;

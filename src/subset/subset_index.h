@@ -17,6 +17,12 @@
 // paper's hash map (O(1)-ish access) while staying cache-friendly; see
 // the bench_ablation_index comparison against a brute-force superset
 // filter.
+//
+// Thread safety: the const members (Query, QueryContained, num_*) touch
+// no mutable state, so any number of threads may query one index
+// concurrently as long as no thread mutates it — the parallel engines
+// rely on this for the shared cross-filter index. Mutations (Add,
+// Remove, MergeFrom) require exclusive access.
 #ifndef SKYLINE_SUBSET_SUBSET_INDEX_H_
 #define SKYLINE_SUBSET_SUBSET_INDEX_H_
 
@@ -47,7 +53,10 @@ class SubsetIndex {
 
   /// Registers an id that every query must return (path = empty reversed
   /// subspace, i.e. the root node).
-  void AddAlwaysCandidate(PointId id) { root_.points.push_back(id); }
+  void AddAlwaysCandidate(PointId id) {
+    root_.points.push_back(id);
+    ++num_points_;
+  }
 
   /// Algorithms 3 and 4: appends to `out` every id stored with a
   /// subspace ⊇ `subspace`. If `nodes_visited` is non-null it is
@@ -67,6 +76,14 @@ class SubsetIndex {
   /// Nodes are not reclaimed — the index is optimized for the
   /// insert-heavy skyline workload where removals are rare.
   bool Remove(PointId id, Subspace subspace);
+
+  /// Splices every entry of `other` (same dimensionality) into this
+  /// index, leaving `other` empty. Equivalent to replaying every Add of
+  /// `other` on this index, in tree order; shared paths are reused, so
+  /// merging T thread-local indexes costs O(total nodes), not O(total
+  /// adds). Used by the parallel engines to combine per-partition
+  /// indexes before the shared cross-filter phase.
+  void MergeFrom(SubsetIndex&& other);
 
   Dim num_dims() const { return num_dims_; }
 
@@ -94,6 +111,13 @@ class SubsetIndex {
 
   static void CollectSubtree(const Node& node, std::vector<PointId>* out,
                              std::uint64_t* nodes_visited);
+
+  /// Splices `src` into `dst`; increments `*new_nodes` for every node of
+  /// `src` whose path did not yet exist under `dst`.
+  static void MergeNodes(Node* dst, Node&& src, std::size_t* new_nodes);
+
+  /// Nodes in the subtree rooted at `node`, including `node` itself.
+  static std::size_t CountSubtreeNodes(const Node& node);
 
   Dim num_dims_;
   Node root_;

@@ -19,8 +19,8 @@ TEST(RegistryTest, UnknownNameReturnsNull) {
   EXPECT_EQ(MakeAlgorithm("SFS"), nullptr) << "names are case-sensitive";
 }
 
-TEST(RegistryTest, FourteenAlgorithms) {
-  EXPECT_EQ(AlgorithmNames().size(), 14u);
+TEST(RegistryTest, FifteenAlgorithms) {
+  EXPECT_EQ(AlgorithmNames().size(), 15u);
 }
 
 TEST(RegistryTest, BoostedPairsReferToRegisteredNames) {

@@ -1,0 +1,80 @@
+// Determinism layer for the parallel engines: the skyline AND every
+// SkylineStats counter must be identical for any thread count and
+// across repeated runs — the work decomposition is a function of the
+// input only, threads only execute it (see work_partitioner.h).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/algo/registry.h"
+#include "src/data/generator.h"
+#include "src/parallel/parallel_skyline.h"
+#include "src/parallel/parallel_subset.h"
+
+namespace skyline {
+namespace {
+
+void ExpectSameStats(const SkylineStats& a, const SkylineStats& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.dominance_tests, b.dominance_tests) << context;
+  EXPECT_EQ(a.index_queries, b.index_queries) << context;
+  EXPECT_EQ(a.index_nodes_visited, b.index_nodes_visited) << context;
+  EXPECT_EQ(a.index_candidates, b.index_candidates) << context;
+  EXPECT_EQ(a.pivot_count, b.pivot_count) << context;
+  EXPECT_EQ(a.merge_pruned, b.merge_pruned) << context;
+  EXPECT_EQ(a.tests_skipped, b.tests_skipped) << context;
+  EXPECT_EQ(a.skyline_size, b.skyline_size) << context;
+}
+
+class ParallelDeterminismTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelDeterminismTest, IdenticalAcrossThreadCountsAndRuns) {
+  const std::string& name = GetParam();
+  for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
+                        DataType::kUniformIndependent}) {
+    Dataset data = Generate(type, 2000, 6, 4);
+
+    // Reference: single-threaded run.
+    auto reference_algo = MakeAlgorithm(name);
+    ASSERT_NE(reference_algo, nullptr);
+    SkylineStats reference_stats;
+    const std::vector<PointId> reference =
+        reference_algo->Compute(data, &reference_stats);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+      for (int run = 0; run < 3; ++run) {
+        const std::string context = name + " " +
+                                    std::string(ShortName(type)) +
+                                    " threads=" + std::to_string(threads) +
+                                    " run=" + std::to_string(run);
+        SkylineStats stats;
+        std::vector<PointId> result;
+        if (name == "parallel-sfs") {
+          result = ParallelSfs(threads).Compute(data, &stats);
+        } else {
+          result = ParallelSubsetSfs(threads).Compute(data, &stats);
+        }
+        // Not just the same id set: the exact same vector — partition
+        // order fully determines the output order.
+        EXPECT_EQ(result, reference) << context;
+        ExpectSameStats(stats, reference_stats, context);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ParallelDeterminismTest,
+                         ::testing::Values("parallel-sfs",
+                                           "parallel-subset-sfs"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace skyline

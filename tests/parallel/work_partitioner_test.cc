@@ -1,0 +1,80 @@
+#include "src/parallel/work_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace skyline {
+namespace {
+
+TEST(WorkPartitionerTest, PartitionCountDependsOnInputSizeOnly) {
+  EXPECT_EQ(DeterministicPartitionCount(0), 1u);
+  EXPECT_EQ(DeterministicPartitionCount(1), 1u);
+  EXPECT_EQ(DeterministicPartitionCount(256), 1u);
+  EXPECT_EQ(DeterministicPartitionCount(257), 2u);
+  EXPECT_EQ(DeterministicPartitionCount(1000000), 32u);  // capped
+  // Monotone non-decreasing.
+  std::size_t prev = 0;
+  for (std::size_t n = 0; n < 20000; n += 97) {
+    const std::size_t p = DeterministicPartitionCount(n);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(WorkPartitionerTest, EffectiveWorkersClamps) {
+  EXPECT_EQ(EffectiveWorkers(4, 10), 4u);
+  EXPECT_EQ(EffectiveWorkers(16, 3), 3u);
+  EXPECT_GE(EffectiveWorkers(0, 100), 1u);  // hardware concurrency
+  EXPECT_EQ(EffectiveWorkers(7, 0), 1u);
+}
+
+TEST(WorkPartitionerTest, EveryUnitRunsExactlyOnce) {
+  for (unsigned workers : {1u, 2u, 5u, 16u}) {
+    const std::size_t units = 137;
+    std::vector<std::atomic<int>> hits(units);
+    ParallelForEachUnit(units, workers,
+                        [&](std::size_t u) { hits[u].fetch_add(1); });
+    for (std::size_t u = 0; u < units; ++u) {
+      EXPECT_EQ(hits[u].load(), 1) << "unit " << u << " workers " << workers;
+    }
+  }
+}
+
+TEST(WorkPartitionerTest, ZeroUnitsIsANoOp) {
+  bool called = false;
+  ParallelForEachUnit(0, 8, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(WorkPartitionerTest, DealRoundRobinPreservesOrderAndBalance) {
+  std::vector<PointId> ids(17);
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  auto buckets = DealRoundRobin(ids, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  // Sizes differ by at most one; every id appears exactly once.
+  std::size_t total = 0;
+  for (const auto& b : buckets) {
+    EXPECT_GE(b.size(), 4u);
+    EXPECT_LE(b.size(), 5u);
+    total += b.size();
+    // Order within a bucket follows the input order.
+    for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  }
+  EXPECT_EQ(total, ids.size());
+  EXPECT_EQ(buckets[1][0], 1u);
+  EXPECT_EQ(buckets[1][1], 5u);
+}
+
+TEST(WorkPartitionerTest, DealMoreBucketsThanIdsLeavesEmpties) {
+  std::vector<PointId> ids = {0, 1};
+  auto buckets = DealRoundRobin(ids, 5);
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0], (std::vector<PointId>{0}));
+  EXPECT_EQ(buckets[1], (std::vector<PointId>{1}));
+  for (std::size_t t = 2; t < 5; ++t) EXPECT_TRUE(buckets[t].empty());
+}
+
+}  // namespace
+}  // namespace skyline

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "src/core/dominance.h"
 #include "src/core/scores.h"
@@ -179,6 +180,52 @@ TEST(MergeTest, DominanceTestsAreCounted) {
   EXPECT_LE(merge.dominance_tests,
             2 * static_cast<std::uint64_t>(merge.iterations) *
                 data.num_points());
+}
+
+TEST(MergeTest, OverFullSpanEqualsMergeSubspaces) {
+  // MergeSubspaces is the full-span special case of MergeSubspacesOver.
+  Dataset data = Generate(DataType::kUniformIndependent, 400, 5, 12);
+  std::vector<PointId> ids(data.num_points());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  MergeResult full = MergeSubspaces(data, 2);
+  MergeResult over = MergeSubspacesOver(data, ids, 2);
+  EXPECT_EQ(over.pivots, full.pivots);
+  EXPECT_EQ(over.remaining, full.remaining);
+  EXPECT_EQ(over.dominance_tests, full.dominance_tests);
+  EXPECT_EQ(over.pruned, full.pruned);
+  EXPECT_EQ(over.iterations, full.iterations);
+  ASSERT_EQ(over.subspaces.size(), full.subspaces.size());
+  for (std::size_t i = 0; i < over.subspaces.size(); ++i) {
+    EXPECT_EQ(over.subspaces[i], full.subspaces[i]) << i;
+  }
+}
+
+TEST(MergeTest, OverSubsetSeesOnlyItsIds) {
+  // Restricting the pass to a subset: every output id is from the
+  // subset, pivots are skyline points *of the subset*, and ids outside
+  // the subset never influence pruning.
+  Dataset data = Dataset::FromRows({
+      {0, 0},  // global dominator — NOT in the subset
+      {1, 5},
+      {5, 1},
+      {6, 6},  // dominated within the subset
+  });
+  const std::vector<PointId> subset = {1, 2, 3};
+  MergeResult merge = MergeSubspacesOver(data, subset, 2);
+  std::vector<PointId> seen = merge.pivots;
+  seen.insert(seen.end(), merge.remaining.begin(), merge.remaining.end());
+  for (PointId id : seen) {
+    EXPECT_NE(id, 0u) << "an id outside the subset leaked into the result";
+  }
+  EXPECT_EQ(seen.size() + merge.pruned, subset.size());
+}
+
+TEST(MergeTest, OverEmptySubset) {
+  Dataset data = Dataset::FromRows({{1, 2}, {2, 1}});
+  MergeResult merge = MergeSubspacesOver(data, {}, 2);
+  EXPECT_TRUE(merge.pivots.empty());
+  EXPECT_TRUE(merge.remaining.empty());
+  EXPECT_EQ(merge.dominance_tests, 0u);
 }
 
 TEST(MergeTest, SigmaOneStopsAfterFirstStableBin) {

@@ -94,6 +94,96 @@ TEST(SubsetIndexTest, AddAlwaysCandidateEqualsFullSubspaceAdd) {
   }
 }
 
+TEST(SubsetIndexTest, AddAlwaysCandidateCountsTowardNumPoints) {
+  // Regression: AddAlwaysCandidate used to push into the root without
+  // incrementing num_points_, under-reporting after pivot registration.
+  SubsetIndex index(4);
+  index.AddAlwaysCandidate(1);
+  index.AddAlwaysCandidate(2);
+  EXPECT_EQ(index.num_points(), 2u);
+  index.Add(3, Subspace{0, 1});
+  EXPECT_EQ(index.num_points(), 3u);
+  // Removing a root-registered id keeps the counter consistent.
+  EXPECT_TRUE(index.Remove(1, Subspace::Full(4)));
+  EXPECT_EQ(index.num_points(), 2u);
+}
+
+TEST(SubsetIndexTest, MergeFromSplicesAllEntries) {
+  SubsetIndex a(5), b(5);
+  a.Add(1, Subspace{0});
+  a.Add(2, Subspace{0, 1});
+  b.Add(3, Subspace{0});      // shares a's path
+  b.Add(4, Subspace{2, 3});   // new path
+  b.AddAlwaysCandidate(5);    // root entry
+  const std::size_t a_nodes = a.num_nodes();
+
+  a.MergeFrom(std::move(b));
+  EXPECT_EQ(a.num_points(), 5u);
+  EXPECT_GT(a.num_nodes(), a_nodes);
+
+  std::vector<PointId> out;
+  a.Query(Subspace{0}, &out);  // supersets of {0}: ids 1..3 + root id 5
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{1, 2, 3, 5}));
+  out.clear();
+  a.Query(Subspace{2, 3}, &out);
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{4, 5}));
+}
+
+TEST(SubsetIndexTest, MergeFromLeavesSourceEmptyAndReusable) {
+  SubsetIndex a(4), b(4);
+  b.Add(1, Subspace{0, 2});
+  a.MergeFrom(std::move(b));
+  EXPECT_EQ(b.num_points(), 0u);
+  EXPECT_EQ(b.num_nodes(), 0u);
+  std::vector<PointId> out;
+  b.Query(Subspace{0, 2}, &out);
+  EXPECT_TRUE(out.empty());
+  // The moved-from index accepts new entries again.
+  b.Add(7, Subspace{1});
+  out.clear();
+  b.Query(Subspace{1}, &out);
+  EXPECT_EQ(out, std::vector<PointId>{7});
+}
+
+// Property test: merging T indexes answers queries exactly like one
+// index that received every Add — the invariant the parallel engine's
+// shared cross-filter index is built on.
+class SubsetIndexMergePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetIndexMergePropertyTest, MergedEqualsSingleIndex) {
+  std::mt19937_64 rng(GetParam());
+  const Dim d = 2 + static_cast<Dim>(rng() % 10);  // 2..11 dims
+  const std::uint64_t space = Subspace::Full(d).bits();
+  const int num_parts = 2 + static_cast<int>(rng() % 4);  // 2..5 sources
+
+  SubsetIndex reference(d);
+  std::vector<SubsetIndex> parts;
+  for (int t = 0; t < num_parts; ++t) parts.emplace_back(d);
+  for (PointId id = 0; id < 400; ++id) {
+    Subspace mask(rng() & space);
+    if (mask.empty()) mask = Subspace::Full(d);
+    reference.Add(id, mask);
+    parts[id % num_parts].Add(id, mask);
+  }
+
+  SubsetIndex merged(d);
+  for (SubsetIndex& part : parts) merged.MergeFrom(std::move(part));
+  EXPECT_EQ(merged.num_points(), reference.num_points());
+  EXPECT_EQ(merged.num_nodes(), reference.num_nodes());
+
+  for (int q = 0; q < 60; ++q) {
+    Subspace query(rng() & space);
+    std::vector<PointId> got, expected;
+    merged.Query(query, &got);
+    reference.Query(query, &expected);
+    ASSERT_EQ(Sorted(got), Sorted(expected))
+        << "d=" << d << " query=" << query.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetIndexMergePropertyTest,
+                         ::testing::Values(31, 32, 33, 34, 35, 36));
+
 TEST(SubsetIndexTest, MultiplePointsPerSubspaceShareOneNode) {
   SubsetIndex index(6);
   index.Add(1, Subspace{2, 4});
