@@ -1,0 +1,57 @@
+// Shared helpers for the fuzz harnesses: a byte-stream reader and an
+// always-on check macro (the harnesses are their own oracle, so their
+// checks must fire even in builds without SKYLINE_CHECKS).
+#ifndef SKYLINE_FUZZ_FUZZ_UTIL_H_
+#define SKYLINE_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+/// Abort with a report when a harness oracle disagrees with the library.
+/// libFuzzer and the standalone driver both treat the abort as a finding.
+#define FUZZ_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "[fuzz] oracle mismatch: %s\n  at %s:%d\n  %s\n", \
+                   #cond, __FILE__, __LINE__, (msg));                     \
+      std::fflush(stderr);                                                \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+namespace skyline::fuzz {
+
+/// Consumes the input bytes front to back; returns zeros once exhausted
+/// (keeps harness behavior total on truncated inputs).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool exhausted() const { return pos_ >= size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t U8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint16_t U16() {
+    return static_cast<std::uint16_t>(U8()) |
+           static_cast<std::uint16_t>(U8()) << 8;
+  }
+
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(U8()) << (8 * i);
+    return v;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace skyline::fuzz
+
+#endif  // SKYLINE_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,82 @@
+// Merge (Algorithm 1) vs. a brute-force oracle. The harness decodes a
+// tiny dataset from the input bytes, runs MergeSubspaces, and re-derives
+// every guarantee the downstream subset machinery depends on:
+//
+//   * pivots + remaining + pruned partition the input;
+//   * every pivot (and every surviving point) is a skyline point /
+//     not weakly dominated by any pivot;
+//   * each surviving point's mask equals the brute-force *maximum
+//     dominating subspace* with respect to the pivot set
+//     (Definition 4.1) and is non-empty.
+#ifndef SKYLINE_FUZZ_HARNESS_MERGE_H_
+#define SKYLINE_FUZZ_HARNESS_MERGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "src/core/dataset.h"
+#include "src/core/dominance.h"
+#include "src/core/subspace.h"
+#include "src/subset/merge.h"
+
+namespace skyline::fuzz {
+
+inline void RunMergeFuzzInput(const std::uint8_t* data, std::size_t size) {
+  ByteReader in(data, size);
+  const Dim d = 1 + in.U8() % 6;
+  const int sigma = 1 + in.U8() % (static_cast<int>(d) + 2);
+
+  // Quantize values to 1/8 steps so duplicates and per-dimension ties —
+  // the hard cases for weak dominance — are common.
+  std::vector<Value> values;
+  const std::size_t n =
+      std::min<std::size_t>(in.remaining() / d, 48);
+  if (n == 0) return;
+  values.reserve(n * d);
+  for (std::size_t i = 0; i < n * d; ++i) {
+    values.push_back(static_cast<Value>(in.U8() % 16) / 8.0);
+  }
+  const Dataset dataset(d, std::move(values));
+
+  const MergeResult result = MergeSubspaces(dataset, sigma);
+
+  FUZZ_CHECK(result.pivots.size() + result.remaining.size() + result.pruned ==
+                 n,
+             "Merge: pivots + remaining + pruned != n");
+  FUZZ_CHECK(result.subspaces.size() == result.remaining.size(),
+             "Merge: subspaces not parallel to remaining");
+  FUZZ_CHECK(result.iterations >= 0 &&
+                 static_cast<std::size_t>(result.iterations) <= n,
+             "Merge: iteration count out of range");
+
+  // Oracle 1: every pivot is a skyline point of the dataset.
+  for (PointId p : result.pivots) {
+    for (PointId q = 0; q < n; ++q) {
+      FUZZ_CHECK(!Dominates(dataset.row(q), dataset.row(p), d),
+                 "Merge: a pivot is not a skyline point");
+    }
+  }
+
+  // Oracle 2: surviving masks are the brute-force maximum dominating
+  // subspace w.r.t. the pivots, and no pivot weakly dominates a survivor.
+  for (std::size_t i = 0; i < result.remaining.size(); ++i) {
+    const PointId q = result.remaining[i];
+    const Value* q_row = dataset.row(q);
+    Subspace expect;
+    for (PointId p : result.pivots) {
+      FUZZ_CHECK(!DominatesOrEqual(dataset.row(p), q_row, d),
+                 "Merge: a pivot weakly dominates a surviving point");
+      expect |= DominatingSubspace(q_row, dataset.row(p), d);
+    }
+    FUZZ_CHECK(!result.subspaces[i].empty(),
+               "Merge: surviving point carries an empty mask");
+    FUZZ_CHECK(expect == result.subspaces[i],
+               "Merge: mask != brute-force maximum dominating subspace");
+  }
+}
+
+}  // namespace skyline::fuzz
+
+#endif  // SKYLINE_FUZZ_HARNESS_MERGE_H_

@@ -1,0 +1,144 @@
+// Subspace algebra vs. a naive bit-loop oracle. Every set operation,
+// predicate and accessor of skyline::Subspace is re-derived dimension by
+// dimension from plain bool arrays and compared.
+#ifndef SKYLINE_FUZZ_HARNESS_SUBSPACE_H_
+#define SKYLINE_FUZZ_HARNESS_SUBSPACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "src/core/subspace.h"
+
+namespace skyline::fuzz {
+
+namespace subspace_oracle {
+
+using Bits = std::array<bool, Subspace::kMaxDims>;
+
+inline Bits ToBits(std::uint64_t mask, Dim nd) {
+  Bits b{};
+  for (Dim i = 0; i < nd; ++i) b[i] = ((mask >> i) & 1) != 0;
+  return b;
+}
+
+inline void CheckPair(std::uint64_t a_bits, std::uint64_t b_bits, Dim nd) {
+  const std::uint64_t full =
+      nd == Subspace::kMaxDims ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << nd) - 1;
+  a_bits &= full;
+  b_bits &= full;
+  const Subspace a(a_bits);
+  const Subspace b(b_bits);
+  const Bits ra = ToBits(a_bits, nd);
+  const Bits rb = ToBits(b_bits, nd);
+
+  // Membership, size, emptiness.
+  Dim size = 0;
+  bool any = false;
+  Dim lowest = 0;
+  bool lowest_set = false;
+  for (Dim i = 0; i < nd; ++i) {
+    FUZZ_CHECK(a.Contains(i) == ra[i], "Contains disagrees with the oracle");
+    if (ra[i]) {
+      ++size;
+      any = true;
+      if (!lowest_set) {
+        lowest = i;
+        lowest_set = true;
+      }
+    }
+  }
+  FUZZ_CHECK(a.size() == size, "size() disagrees with the popcount oracle");
+  FUZZ_CHECK(a.empty() == !any, "empty() disagrees with the oracle");
+  if (any) FUZZ_CHECK(a.Lowest() == lowest, "Lowest() disagrees");
+
+  // Binary set algebra, dimension by dimension.
+  const Subspace uni = a.Union(b);
+  const Subspace inter = a.Intersection(b);
+  const Subspace diff = a.Difference(b);
+  const Subspace comp = a.Complement(nd);
+  bool subset = true;
+  bool superset = true;
+  for (Dim i = 0; i < nd; ++i) {
+    FUZZ_CHECK(uni.Contains(i) == (ra[i] || rb[i]), "Union disagrees");
+    FUZZ_CHECK(inter.Contains(i) == (ra[i] && rb[i]),
+               "Intersection disagrees");
+    FUZZ_CHECK(diff.Contains(i) == (ra[i] && !rb[i]), "Difference disagrees");
+    FUZZ_CHECK(comp.Contains(i) == !ra[i], "Complement disagrees");
+    if (ra[i] && !rb[i]) subset = false;
+    if (rb[i] && !ra[i]) superset = false;
+  }
+  FUZZ_CHECK(a.IsSubsetOf(b) == subset, "IsSubsetOf disagrees");
+  FUZZ_CHECK(a.IsSupersetOf(b) == superset, "IsSupersetOf disagrees");
+  FUZZ_CHECK(a.IsProperSubsetOf(b) == (subset && a_bits != b_bits),
+             "IsProperSubsetOf disagrees");
+  FUZZ_CHECK((a == b) == (a_bits == b_bits), "operator== disagrees");
+  FUZZ_CHECK((a != b) == (a_bits != b_bits), "operator!= disagrees");
+  FUZZ_CHECK((a < b) == (a_bits < b_bits), "operator< disagrees");
+
+  // Compound assignment mirrors the free operators.
+  Subspace acc = a;
+  acc |= b;
+  FUZZ_CHECK(acc == uni, "operator|= disagrees with Union");
+  acc = a;
+  acc &= b;
+  FUZZ_CHECK(acc == inter, "operator&= disagrees with Intersection");
+
+  // Complement round-trip and De Morgan.
+  FUZZ_CHECK(comp.Complement(nd) == a, "Complement round-trip broken");
+  FUZZ_CHECK(a.Complement(nd).Intersection(b.Complement(nd)) ==
+                 uni.Complement(nd),
+             "De Morgan (union) broken");
+
+  // Add/Remove round-trip through the oracle.
+  Subspace edit = a;
+  for (Dim i = 0; i < nd; ++i) {
+    if (rb[i]) {
+      edit.Add(i);
+    } else {
+      edit.Remove(i);
+    }
+  }
+  FUZZ_CHECK(edit == b, "Add/Remove editing did not converge to the target");
+
+  // ForEachDim enumerates exactly the members, strictly increasing.
+  Bits seen{};
+  Dim last = 0;
+  bool first = true;
+  std::uint64_t visits = 0;
+  a.ForEachDim([&](Dim d) {
+    FUZZ_CHECK(d < nd, "ForEachDim produced a dimension outside the space");
+    FUZZ_CHECK(first || d > last, "ForEachDim not strictly increasing");
+    first = false;
+    last = d;
+    seen[d] = true;
+    ++visits;
+  });
+  FUZZ_CHECK(visits == a.size(), "ForEachDim visit count != size()");
+  for (Dim i = 0; i < nd; ++i) {
+    FUZZ_CHECK(seen[i] == ra[i], "ForEachDim missed or invented a member");
+  }
+
+  // ToString stays total and non-empty.
+  const std::string rendered = a.ToString();
+  FUZZ_CHECK(rendered.size() >= 2 && rendered.front() == '{' &&
+                 rendered.back() == '}',
+             "ToString lost its braces");
+}
+
+}  // namespace subspace_oracle
+
+inline void RunSubspaceFuzzInput(const std::uint8_t* data, std::size_t size) {
+  ByteReader in(data, size);
+  // Each record: 1 byte dimensionality + two 8-byte masks.
+  while (in.remaining() >= 17) {
+    const Dim nd = 1 + in.U8() % Subspace::kMaxDims;
+    subspace_oracle::CheckPair(in.U64(), in.U64(), nd);
+  }
+}
+
+}  // namespace skyline::fuzz
+
+#endif  // SKYLINE_FUZZ_HARNESS_SUBSPACE_H_

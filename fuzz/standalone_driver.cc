@@ -1,0 +1,93 @@
+// Minimal libFuzzer-compatible driver for toolchains without
+// -fsanitize=fuzzer (e.g. plain gcc). Replays every corpus file passed
+// as a file or directory argument, then feeds `-runs=N` random inputs
+// (default 10000) from a fixed-seed generator, so a standalone run is
+// fully reproducible. Any FUZZ_CHECK / contract violation aborts the
+// process, which is the failure signal in both drivers.
+//
+// Usage: fuzz_target [-runs=N] [-max_len=L] [corpus_file_or_dir]...
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::size_t RunFile(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "[driver] cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(file)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 1;
+}
+
+std::size_t RunPath(const std::filesystem::path& path) {
+  if (std::filesystem::is_directory(path)) {
+    std::size_t count = 0;
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());  // deterministic replay order
+    for (const auto& f : files) count += RunFile(f);
+    return count;
+  }
+  return RunFile(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 10000;
+  std::size_t max_len = 512;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtol(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<std::size_t>(
+          std::strtol(arg.c_str() + 9, nullptr, 10));
+    } else if (arg.rfind("-", 0) == 0) {
+      // Ignore other libFuzzer-style flags so CI invocations stay
+      // interchangeable between the two drivers.
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::size_t corpus_runs = 0;
+  for (const std::string& p : paths) corpus_runs += RunPath(p);
+  std::printf("[driver] replayed %zu corpus inputs\n", corpus_runs);
+
+  std::mt19937_64 rng(0x5eedf00dULL);
+  std::vector<std::uint8_t> input;
+  for (long i = 0; i < runs; ++i) {
+    const std::size_t len = rng() % (max_len + 1);
+    input.resize(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      input[k] = static_cast<std::uint8_t>(rng());
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    if ((i + 1) % 5000 == 0) {
+      std::printf("[driver] %ld/%ld random inputs\n", i + 1, runs);
+    }
+  }
+  std::printf("[driver] done: %zu corpus + %ld random inputs, no findings\n",
+              corpus_runs, runs);
+  return 0;
+}

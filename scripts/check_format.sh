@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Verifies formatting (config: .clang-format) without reformatting.
+#
+# By default only the files that changed relative to the merge base with
+# the default branch are checked, so the check can be enforced in CI
+# without ever forcing a mass-reformat of the seed tree. `--all` checks
+# every tracked C++ file instead.
+#
+# Toolchain gating: like run_clang_tidy.sh, this SKIPS (exit 0, loud
+# message) when clang-format is absent; the CI lint job provides it.
+#
+# Usage: scripts/check_format.sh [--all] [base_ref]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT=""
+for candidate in clang-format clang-format-20 clang-format-19 \
+                 clang-format-18 clang-format-17 clang-format-16 \
+                 clang-format-15 clang-format-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    FMT="$candidate"
+    break
+  fi
+done
+if [ -z "$FMT" ]; then
+  echo "SKIP: clang-format not found on PATH; install LLVM or rely on the" \
+       "CI format job." >&2
+  exit 0
+fi
+
+MODE="changed"
+BASE_REF=""
+for arg in "$@"; do
+  case "$arg" in
+    --all) MODE="all" ;;
+    *) BASE_REF="$arg" ;;
+  esac
+done
+
+if [ "$MODE" = "all" ]; then
+  mapfile -t FILES < <(git ls-files '*.cc' '*.cpp' '*.h')
+else
+  if [ -z "$BASE_REF" ]; then
+    BASE_REF=$(git merge-base HEAD origin/main 2> /dev/null ||
+               git merge-base HEAD main 2> /dev/null ||
+               echo HEAD)
+  fi
+  mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$BASE_REF" \
+                         -- '*.cc' '*.cpp' '*.h')
+fi
+
+if [ ${#FILES[@]} -eq 0 ]; then
+  echo "No C++ files to check."
+  exit 0
+fi
+
+echo "clang-format ($FMT) checking ${#FILES[@]} files"
+"$FMT" --dry-run -Werror "${FILES[@]}"
+echo "Formatting clean."

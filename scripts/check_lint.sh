@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Custom repo lint — pure bash/grep, so it runs on any host (no LLVM
+# needed) and is the one analysis gate that can never be skipped.
+#
+# Rules:
+#   L1  include guards in src/ and fuzz/ headers must match the path:
+#       src/core/subspace.h -> SKYLINE_CORE_SUBSPACE_H_
+#   L2  no raw assert()/<cassert> in src/ — invariants go through
+#       src/core/contracts.h (SKYLINE_ASSERT/SKYLINE_DCHECK) so they are
+#       switchable, messaged, and fuzz-visible
+#   L3  no `using namespace` in any header
+#   L4  project-relative includes must be rooted ("src/..." / "fuzz/...")
+#   L5  no <iostream> in the library's compute layers (core, subset,
+#       parallel, algo) — printing belongs to the harness/examples
+#
+# Usage: scripts/check_lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+fail=0
+
+report() {
+  echo "LINT[$1] $2" >&2
+  fail=1
+}
+
+# L1: include guards match the file path.
+while IFS= read -r header; do
+  guard=$(echo "$header" | tr 'a-z/.' 'A-Z__' | sed 's/^SRC_/SKYLINE_/;s/^FUZZ_/SKYLINE_FUZZ_/')
+  guard="${guard%_H}_H_"
+  if ! grep -q "#ifndef $guard" "$header" ||
+     ! grep -q "#define $guard" "$header"; then
+    report L1 "$header: include guard must be $guard"
+  fi
+done < <(git ls-files 'src/*.h' 'fuzz/*.h')
+
+# L2: contracts, not raw asserts, inside the library.
+while IFS= read -r match; do
+  report L2 "$match: use SKYLINE_ASSERT/SKYLINE_DCHECK from src/core/contracts.h"
+done < <(grep -rn --include='*.h' --include='*.cc' -E '(^|[^A-Za-z_])assert\(|<cassert>' src/ |
+         grep -v '^src/core/contracts' || true)
+
+# L3: headers never open namespaces wholesale.
+while IFS= read -r match; do
+  report L3 "$match: 'using namespace' is banned in headers"
+done < <(grep -rn --include='*.h' 'using namespace' src/ fuzz/ tests/ bench/ || true)
+
+# L4: quoted includes are repo-rooted.
+while IFS= read -r match; do
+  report L4 "$match: quoted includes must start with src/ or fuzz/"
+done < <(grep -rn --include='*.h' --include='*.cc' '#include "' src/ fuzz/ |
+         grep -v '#include "src/\|#include "fuzz/' || true)
+
+# L5: compute layers stay print-free.
+while IFS= read -r match; do
+  report L5 "$match: <iostream> is banned in the compute layers"
+done < <(grep -rln --include='*.h' --include='*.cc' '<iostream>' \
+         src/core src/subset src/parallel src/algo 2> /dev/null || true)
+
+if [ "$fail" -ne 0 ]; then
+  echo "Custom lint FAILED." >&2
+  exit 1
+fi
+echo "Custom lint clean."

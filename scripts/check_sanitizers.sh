@@ -1,34 +1,36 @@
 #!/usr/bin/env bash
 # CI-style sanitizer gate: builds the library + tests under
-# ThreadSanitizer and AddressSanitizer/UBSan (CMakePresets.json presets
-# `tsan` and `asan`) and runs the parallel + subset test suites under
-# each. Any reported race / memory error fails the ctest run, because
-# both sanitizers exit non-zero on findings.
+# ThreadSanitizer, AddressSanitizer/UBSan and standalone UBSan
+# (CMakePresets.json presets `tsan`, `asan` and `ubsan`) and runs the
+# FULL ctest suite under each. Any reported race / memory error /
+# undefined behavior fails the ctest run, because all three sanitizers
+# exit non-zero on findings (UBSan via -fno-sanitize-recover).
 #
-# Usage: scripts/check_sanitizers.sh [jobs]
+# Usage: scripts/check_sanitizers.sh [jobs] [preset...]
+#   jobs     parallel build/test jobs (default: nproc)
+#   preset   subset of {tsan asan ubsan} to run (default: all three)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+shift || true
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(tsan asan ubsan)
+fi
 
-# The suites exercising the concurrent code paths and the subset
-# machinery they share. Keep in sync with tests/parallel/ and
-# tests/subset/ test names.
-FILTER='Parallel|Subset|Merge|WorkPartitioner|Determinism|Differential'
-
-for preset in tsan asan; do
+for preset in "${PRESETS[@]}"; do
   echo "==== [$preset] configure ===="
   cmake --preset "$preset"
   echo "==== [$preset] build ===="
   cmake --build "build-$preset" -j "$JOBS"
-  echo "==== [$preset] ctest (-R '$FILTER') ===="
+  echo "==== [$preset] ctest (full suite) ===="
   # halt_on_error makes TSan fail fast inside ctest instead of just
   # logging; second_deadlock_stack improves lock-order reports.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ASAN_OPTIONS="detect_leaks=1" \
-    ctest --test-dir "build-$preset" -j "$JOBS" \
-          --output-on-failure -R "$FILTER"
+    ctest --test-dir "build-$preset" -j "$JOBS" --output-on-failure
 done
 
 echo "All sanitizer suites passed."

@@ -1,7 +1,7 @@
 #include <algorithm>
-#include <cassert>
 #include <map>
 
+#include "src/core/contracts.h"
 #include "src/algo/bnl.h"
 #include "src/algo/bskytree.h"
 #include "src/algo/pivot.h"
@@ -47,7 +47,8 @@ std::vector<PointId> SolveRegion(DominanceTester& tester,
       if (DominatesOrEqual(row, pivot_row, d)) result.push_back(p);  // dup
       continue;
     }
-    assert(!mask.empty());
+    SKYLINE_ASSERT(!mask.empty(),
+                   "survivor lattice vector empty: p would dominate the pivot");
     regions[mask.bits()].push_back(p);
   }
 

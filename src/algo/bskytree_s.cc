@@ -1,6 +1,6 @@
 #include <algorithm>
-#include <cassert>
 
+#include "src/core/contracts.h"
 #include "src/algo/bskytree.h"
 #include "src/algo/pivot.h"
 #include "src/core/dominance.h"
@@ -45,7 +45,8 @@ std::vector<PointId> BSkyTreeS::Compute(const Dataset& data,
       if (DominatesOrEqual(row, pivot_row, d)) result.push_back(p);  // dup
       continue;
     }
-    assert(!mask.empty());  // empty would mean p dominates the pivot
+    SKYLINE_ASSERT(!mask.empty(),
+                   "survivor lattice vector empty: p would dominate the pivot");
     survivors.push_back(
         {p, mask, ScorePoint(row, d, ScoreFunction::kSum)});
   }

@@ -1,13 +1,13 @@
+#include "src/core/contracts.h"
 #include "src/algo/pivot.h"
 
-#include <cassert>
 #include <limits>
 
 namespace skyline {
 
 PointId SelectBalancedPivot(const Dataset& data,
                             const std::vector<PointId>& ids) {
-  assert(!ids.empty());
+  SKYLINE_ASSERT(!ids.empty(), "SelectBalancedPivot: empty id set");
   const Dim d = data.num_dims();
 
   // Region bounds for range normalization.

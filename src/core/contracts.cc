@@ -1,0 +1,21 @@
+#include "src/core/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skyline::internal {
+
+void ReportContractViolation(const char* kind, const char* expr,
+                             const char* file, int line, const char* msg) {
+  if (expr != nullptr && expr[0] != '\0') {
+    std::fprintf(stderr, "[skyline] %s: %s\n  at %s:%d\n  %s\n", kind, expr,
+                 file, line, msg);
+  } else {
+    std::fprintf(stderr, "[skyline] %s\n  at %s:%d\n  %s\n", kind, file, line,
+                 msg);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace skyline::internal

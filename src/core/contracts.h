@@ -1,0 +1,100 @@
+// Runtime contract checking for the invariants the correctness argument
+// rests on (ISSUE 2): Merge's maximum-dominating-subspace postcondition,
+// the SubsetIndex superset-query guarantee, partitioner determinism, and
+// the Subspace set algebra.
+//
+// Three macros, two cost tiers:
+//
+//   SKYLINE_ASSERT(cond, msg)   O(1)/O(d) pre- and postconditions on the
+//                               hot path. Compiled in when SKYLINE_CHECKS
+//                               is defined OR NDEBUG is not (i.e. it
+//                               subsumes <cassert> and adds a message).
+//
+//   SKYLINE_DCHECK(cond, msg)   Deep invariant sweeps (full-tree
+//                               recounts, O(n*d) mask re-derivations).
+//                               Compiled in only when SKYLINE_CHECKS is
+//                               defined; guard the *computation* of the
+//                               checked value with
+//                               `if constexpr (kSkylineDeepChecks)`.
+//
+//   SKYLINE_CONTRACT_VIOLATION(msg)
+//                               Unconditional: reports and aborts. Used
+//                               for "unreachable" states and by the two
+//                               macros above.
+//
+// Configure with `-DSKYLINE_CHECKS=ON` (CMake option) or the `checks`
+// preset. Violations print the failing expression, file:line and message
+// to stderr, then abort() — so sanitizers, ctest and the fuzz drivers
+// all register them as hard failures.
+#ifndef SKYLINE_CORE_CONTRACTS_H_
+#define SKYLINE_CORE_CONTRACTS_H_
+
+namespace skyline::internal {
+
+/// Prints a contract-violation report to stderr and aborts. Never
+/// returns. `expr` may be empty for direct SKYLINE_CONTRACT_VIOLATION
+/// calls.
+[[noreturn]] void ReportContractViolation(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const char* msg);
+
+}  // namespace skyline::internal
+
+namespace skyline {
+
+/// True when the deep (SKYLINE_DCHECK-tier) checks are compiled in; use
+/// to guard the computation feeding an expensive check.
+#ifdef SKYLINE_CHECKS
+inline constexpr bool kSkylineDeepChecks = true;
+#else
+inline constexpr bool kSkylineDeepChecks = false;
+#endif
+
+/// True when SKYLINE_ASSERT is active (deep checks on, or debug build).
+#if defined(SKYLINE_CHECKS) || !defined(NDEBUG)
+inline constexpr bool kSkylineAsserts = true;
+#else
+inline constexpr bool kSkylineAsserts = false;
+#endif
+
+}  // namespace skyline
+
+#define SKYLINE_CONTRACT_VIOLATION(msg)                                  \
+  ::skyline::internal::ReportContractViolation("contract violation", "", \
+                                               __FILE__, __LINE__, (msg))
+
+#if defined(SKYLINE_CHECKS) || !defined(NDEBUG)
+#define SKYLINE_ASSERT(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::skyline::internal::ReportContractViolation(                       \
+          "assertion failed", #cond, __FILE__, __LINE__, (msg));          \
+    }                                                                     \
+  } while (false)
+#else
+// No-op that still "uses" the operands (unevaluated), so disabling the
+// checks cannot introduce unused-variable warnings under -Werror.
+#define SKYLINE_ASSERT(cond, msg)   \
+  do {                              \
+    (void)sizeof((cond) ? 1 : 0);   \
+    (void)sizeof(msg);              \
+  } while (false)
+#endif
+
+#ifdef SKYLINE_CHECKS
+#define SKYLINE_DCHECK(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::skyline::internal::ReportContractViolation(                       \
+          "deep check failed", #cond, __FILE__, __LINE__, (msg));         \
+    }                                                                     \
+  } while (false)
+#else
+#define SKYLINE_DCHECK(cond, msg)   \
+  do {                              \
+    (void)sizeof((cond) ? 1 : 0);   \
+    (void)sizeof(msg);              \
+  } while (false)
+#endif
+
+#endif  // SKYLINE_CORE_CONTRACTS_H_

@@ -1,3 +1,4 @@
+#include "src/core/contracts.h"
 #include "src/core/dataset.h"
 
 #include <sstream>
@@ -6,20 +7,22 @@ namespace skyline {
 
 Dataset Dataset::FromRows(
     std::initializer_list<std::initializer_list<Value>> rows) {
-  assert(rows.size() > 0);
+  SKYLINE_ASSERT(rows.size() > 0, "FromRows: need at least one row");
   Dataset data(static_cast<Dim>(rows.begin()->size()));
   for (const auto& r : rows) {
-    assert(r.size() == data.num_dims());
+    SKYLINE_ASSERT(r.size() == data.num_dims(),
+                   "FromRows: ragged rows are not allowed");
     data.values_.insert(data.values_.end(), r.begin(), r.end());
   }
   return data;
 }
 
 Dataset Dataset::FromRows(const std::vector<std::vector<Value>>& rows) {
-  assert(!rows.empty());
+  SKYLINE_ASSERT(!rows.empty(), "FromRows: need at least one row");
   Dataset data(static_cast<Dim>(rows.front().size()));
   for (const auto& r : rows) {
-    assert(r.size() == data.num_dims());
+    SKYLINE_ASSERT(r.size() == data.num_dims(),
+                   "FromRows: ragged rows are not allowed");
     data.values_.insert(data.values_.end(), r.begin(), r.end());
   }
   return data;

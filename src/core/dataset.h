@@ -4,13 +4,13 @@
 #ifndef SKYLINE_CORE_DATASET_H_
 #define SKYLINE_CORE_DATASET_H_
 
-#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/core/contracts.h"
 #include "src/core/types.h"
 
 namespace skyline {
@@ -25,14 +25,15 @@ class Dataset {
  public:
   /// Empty dataset of a fixed dimensionality.
   explicit Dataset(Dim num_dims) : num_dims_(num_dims) {
-    assert(num_dims >= 1);
+    SKYLINE_ASSERT(num_dims >= 1, "Dataset: need at least one dimension");
   }
 
   /// Builds a dataset from `num_points * num_dims` row-major values.
   Dataset(Dim num_dims, std::vector<Value> values)
       : num_dims_(num_dims), values_(std::move(values)) {
-    assert(num_dims >= 1);
-    assert(values_.size() % num_dims_ == 0);
+    SKYLINE_ASSERT(num_dims >= 1, "Dataset: need at least one dimension");
+    SKYLINE_ASSERT(values_.size() % num_dims_ == 0,
+                   "Dataset: values size not a multiple of num_dims");
   }
 
   /// Builds a dataset from explicit rows; all rows must have equal length.
@@ -43,7 +44,8 @@ class Dataset {
 
   /// Appends one point; `row` must have exactly num_dims() values.
   void Append(std::span<const Value> row) {
-    assert(row.size() == num_dims_);
+    SKYLINE_ASSERT(row.size() == num_dims_,
+                   "Append: row length != num_dims");
     values_.insert(values_.end(), row.begin(), row.end());
   }
 
@@ -57,13 +59,13 @@ class Dataset {
 
   /// Pointer to the row of point `id`; valid for num_dims() values.
   const Value* row(PointId id) const {
-    assert(id < num_points());
+    SKYLINE_ASSERT(id < num_points(), "row: point id out of range");
     return values_.data() + static_cast<std::size_t>(id) * num_dims_;
   }
 
   /// Value of point `id` in dimension `dim`.
   Value at(PointId id, Dim dim) const {
-    assert(dim < num_dims_);
+    SKYLINE_ASSERT(dim < num_dims_, "at: dimension out of range");
     return row(id)[dim];
   }
 

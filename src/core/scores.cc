@@ -1,7 +1,7 @@
+#include "src/core/contracts.h"
 #include "src/core/scores.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
@@ -31,7 +31,8 @@ Value ScorePoint(const Value* p, Dim d, ScoreFunction f) {
     case ScoreFunction::kEntropy: {
       Value s = 0;
       for (Dim i = 0; i < d; ++i) {
-        assert(p[i] > Value{-1});
+        SKYLINE_ASSERT(p[i] > Value{-1},
+                       "log-sum score requires values > -1");
         s += std::log1p(p[i]);
       }
       return s;

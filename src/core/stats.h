@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/contracts.h"
+
 namespace skyline {
 
 /// Counters filled in by SkylineAlgorithm::Compute.
@@ -79,8 +81,14 @@ class StatsAccumulator {
  public:
   explicit StatsAccumulator(std::size_t num_slots) : slots_(num_slots) {}
 
-  SkylineStats& slot(std::size_t i) { return slots_[i]; }
-  const SkylineStats& slot(std::size_t i) const { return slots_[i]; }
+  SkylineStats& slot(std::size_t i) {
+    SKYLINE_ASSERT(i < slots_.size(), "StatsAccumulator: slot out of range");
+    return slots_[i];
+  }
+  const SkylineStats& slot(std::size_t i) const {
+    SKYLINE_ASSERT(i < slots_.size(), "StatsAccumulator: slot out of range");
+    return slots_[i];
+  }
   std::size_t num_slots() const { return slots_.size(); }
 
   /// Slot counters accumulated in slot order (skyline_size is left to

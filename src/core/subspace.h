@@ -10,11 +10,11 @@
 #define SKYLINE_CORE_SUBSPACE_H_
 
 #include <bit>
-#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
 
+#include "src/core/contracts.h"
 #include "src/core/types.h"
 
 namespace skyline {
@@ -36,19 +36,22 @@ class Subspace {
 
   /// Subspace containing exactly the listed dimensions.
   constexpr Subspace(std::initializer_list<Dim> dims) : bits_(0) {
-    for (Dim d : dims) bits_ |= (std::uint64_t{1} << d);
+    for (Dim d : dims) {
+      SKYLINE_ASSERT(d < kMaxDims, "Subspace dimension out of range");
+      bits_ |= (std::uint64_t{1} << d);
+    }
   }
 
   /// The full space D = {0, ..., num_dims-1}.
   static constexpr Subspace Full(Dim num_dims) {
-    assert(num_dims <= kMaxDims);
+    SKYLINE_ASSERT(num_dims <= kMaxDims, "Full: num_dims exceeds kMaxDims");
     if (num_dims == kMaxDims) return Subspace(~std::uint64_t{0});
     return Subspace((std::uint64_t{1} << num_dims) - 1);
   }
 
   /// The subspace containing the single dimension `dim`.
   static constexpr Subspace Single(Dim dim) {
-    assert(dim < kMaxDims);
+    SKYLINE_ASSERT(dim < kMaxDims, "Single: dim exceeds kMaxDims");
     return Subspace(std::uint64_t{1} << dim);
   }
 
@@ -61,11 +64,18 @@ class Subspace {
   }
 
   constexpr bool Contains(Dim dim) const {
-    return (bits_ >> dim) & std::uint64_t{1};
+    SKYLINE_ASSERT(dim < kMaxDims, "Contains: dim exceeds kMaxDims");
+    return ((bits_ >> dim) & std::uint64_t{1}) != 0;
   }
 
-  constexpr void Add(Dim dim) { bits_ |= (std::uint64_t{1} << dim); }
-  constexpr void Remove(Dim dim) { bits_ &= ~(std::uint64_t{1} << dim); }
+  constexpr void Add(Dim dim) {
+    SKYLINE_ASSERT(dim < kMaxDims, "Add: dim exceeds kMaxDims");
+    bits_ |= (std::uint64_t{1} << dim);
+  }
+  constexpr void Remove(Dim dim) {
+    SKYLINE_ASSERT(dim < kMaxDims, "Remove: dim exceeds kMaxDims");
+    bits_ &= ~(std::uint64_t{1} << dim);
+  }
 
   /// True if every member of this subspace is a member of `other`.
   constexpr bool IsSubsetOf(Subspace other) const {
@@ -83,8 +93,12 @@ class Subspace {
   }
 
   /// The reversed subspace D^¬ with respect to the full space of
-  /// `num_dims` dimensions (Section 5 of the paper).
+  /// `num_dims` dimensions (Section 5 of the paper). Precondition: this
+  /// subspace must lie inside the full space it is reversed against,
+  /// otherwise the round-trip identity (S^¬)^¬ == S breaks.
   constexpr Subspace Complement(Dim num_dims) const {
+    SKYLINE_ASSERT(IsSubsetOf(Full(num_dims)),
+                   "Complement: subspace not contained in the full space");
     return Subspace(~bits_ & Full(num_dims).bits_);
   }
 
@@ -129,7 +143,7 @@ class Subspace {
 
   /// Smallest member dimension; undefined on the empty subspace.
   constexpr Dim Lowest() const {
-    assert(!empty());
+    SKYLINE_ASSERT(!empty(), "Lowest: empty subspace has no member");
     return static_cast<Dim>(std::countr_zero(bits_));
   }
 

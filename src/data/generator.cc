@@ -1,7 +1,7 @@
+#include "src/core/contracts.h"
 #include "src/data/generator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cctype>
 #include <string>
 
@@ -66,7 +66,8 @@ void GenerateAntiCorrelatedPoint(std::mt19937_64& rng, Dim d, Value* out) {
 }
 
 Dataset Generate(DataType type, std::size_t n, Dim d, std::uint64_t seed) {
-  assert(d >= 1 && d <= Subspace::kMaxDims);
+  SKYLINE_ASSERT(d >= 1 && d <= Subspace::kMaxDims,
+                 "Generate: dimensionality out of range");
   std::mt19937_64 rng(seed);
   std::vector<Value> values(n * d);
   for (std::size_t p = 0; p < n; ++p) {

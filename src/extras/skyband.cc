@@ -1,6 +1,6 @@
+#include "src/core/contracts.h"
 #include "src/extras/skyband.h"
 
-#include <cassert>
 
 #include "src/core/dominance.h"
 #include "src/core/scores.h"
@@ -8,7 +8,7 @@
 namespace skyline {
 
 SkybandResult ComputeSkyband(const Dataset& data, std::uint32_t k) {
-  assert(k >= 1);
+  SKYLINE_ASSERT(k >= 1, "ComputeSkyband: k must be >= 1");
   const Dim d = data.num_dims();
   SkybandResult out;
   for (PointId p : SortedByScore(data, ScoreFunction::kSum)) {

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "src/core/contracts.h"
 #include "src/core/dominance.h"
 #include "src/core/scores.h"
 #include "src/parallel/work_partitioner.h"
@@ -218,6 +219,24 @@ std::vector<PointId> ParallelSubsetSfs::Compute(const Dataset& data,
   for (std::size_t t = 0; t < num_parts; ++t) {
     result.insert(result.end(), surviving[t].begin(), surviving[t].end());
   }
+
+  // Deep postcondition: skyline members are pairwise non-dominating.
+  // Quadratic, so bounded — large inputs are covered by the differential
+  // tests; this catches cross-filter regressions on the small cases the
+  // fuzzers and unit tests feed through.
+  if constexpr (kSkylineDeepChecks) {
+    if (result.size() <= 512) {
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        for (std::size_t j = 0; j < result.size(); ++j) {
+          SKYLINE_DCHECK(
+              i == j ||
+                  !Dominates(data.row(result[i]), data.row(result[j]), d),
+              "parallel-subset: result contains a dominated point");
+        }
+      }
+    }
+  }
+
   if (stats != nullptr) {
     SkylineStats total = local_stats.Combine();
     total.Accumulate(rebase_stats.Combine());

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <thread>
+
+#include "src/core/contracts.h"
 
 namespace skyline {
 
 std::size_t DeterministicPartitionCount(std::size_t n) {
   const std::size_t by_size = (n + 255) / 256;
-  return std::clamp<std::size_t>(by_size, 1, 32);
+  const std::size_t count = std::clamp<std::size_t>(by_size, 1, 32);
+  SKYLINE_ASSERT(count >= 1 && count <= 32,
+                 "partition count must stay in [1, 32]");
+  return count;
 }
 
 unsigned EffectiveWorkers(unsigned requested, std::size_t num_units) {
@@ -16,30 +22,55 @@ unsigned EffectiveWorkers(unsigned requested, std::size_t num_units) {
       requested > 0 ? requested
                     : std::max(1u, std::thread::hardware_concurrency());
   if (num_units < workers) workers = static_cast<unsigned>(num_units);
-  return std::max(1u, workers);
+  workers = std::max(1u, workers);
+  SKYLINE_ASSERT(num_units == 0 || workers <= num_units,
+                 "never spawn more workers than units");
+  return workers;
 }
 
 void ParallelForEachUnit(std::size_t num_units, unsigned workers,
                          const std::function<void(std::size_t)>& fn) {
   if (num_units == 0) return;
   workers = EffectiveWorkers(workers, num_units);
+
+  // Determinism contract: every unit in [0, num_units) runs exactly once,
+  // regardless of worker count or scheduling. The shared-cursor claim
+  // makes this true by construction; the deep check re-verifies it so a
+  // future scheduling change cannot silently drop or repeat a unit.
+#ifdef SKYLINE_CHECKS
+  std::vector<std::atomic<std::uint32_t>> runs(num_units);
+  const auto run_unit = [&](std::size_t unit) {
+    runs[unit].fetch_add(1, std::memory_order_relaxed);
+    fn(unit);
+  };
+#else
+  const auto& run_unit = fn;
+#endif
+
   if (workers == 1) {
-    for (std::size_t unit = 0; unit < num_units; ++unit) fn(unit);
-    return;
+    for (std::size_t unit = 0; unit < num_units; ++unit) run_unit(unit);
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t unit = cursor.fetch_add(1, std::memory_order_relaxed);
+             unit < num_units;
+             unit = cursor.fetch_add(1, std::memory_order_relaxed)) {
+          run_unit(unit);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
   }
-  std::atomic<std::size_t> cursor{0};
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) {
-    threads.emplace_back([&] {
-      for (std::size_t unit = cursor.fetch_add(1, std::memory_order_relaxed);
-           unit < num_units;
-           unit = cursor.fetch_add(1, std::memory_order_relaxed)) {
-        fn(unit);
-      }
-    });
+
+#ifdef SKYLINE_CHECKS
+  for (std::size_t unit = 0; unit < num_units; ++unit) {
+    SKYLINE_DCHECK(runs[unit].load(std::memory_order_relaxed) == 1,
+                   "ParallelForEachUnit: unit not executed exactly once");
   }
-  for (std::thread& thread : threads) thread.join();
+#endif
 }
 
 std::vector<std::vector<PointId>> DealRoundRobin(std::span<const PointId> ids,
@@ -51,6 +82,25 @@ std::vector<std::vector<PointId>> DealRoundRobin(std::span<const PointId> ids,
   }
   for (std::size_t i = 0; i < ids.size(); ++i) {
     buckets[i % num_partitions].push_back(ids[i]);
+  }
+
+  // Deal coverage: bucket t holds exactly ids[t], ids[t+P], ... — sizes
+  // balanced within one, nothing dropped or duplicated.
+  if constexpr (kSkylineDeepChecks) {
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < num_partitions; ++t) {
+      const std::size_t expect =
+          ids.size() / num_partitions + (t < ids.size() % num_partitions);
+      SKYLINE_DCHECK(buckets[t].size() == expect,
+                     "DealRoundRobin: bucket size not balanced within one");
+      for (std::size_t k = 0; k < buckets[t].size(); ++k) {
+        SKYLINE_DCHECK(buckets[t][k] == ids[t + k * num_partitions],
+                       "DealRoundRobin: bucket breaks the round-robin order");
+      }
+      total += buckets[t].size();
+    }
+    SKYLINE_DCHECK(total == ids.size(),
+                   "DealRoundRobin: buckets do not partition the input");
   }
   return buckets;
 }

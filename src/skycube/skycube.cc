@@ -1,7 +1,7 @@
+#include "src/core/contracts.h"
 #include "src/skycube/skycube.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <unordered_map>
 
@@ -79,7 +79,7 @@ struct ProjectionHasher {
 
 std::vector<PointId> SubspaceSkyline(const Dataset& data, Subspace subspace,
                                      std::uint64_t* tests) {
-  assert(!subspace.empty());
+  SKYLINE_ASSERT(!subspace.empty(), "SubspaceSkyline: empty subspace");
   std::vector<PointId> all(data.num_points());
   for (PointId i = 0; i < data.num_points(); ++i) all[i] = i;
   std::vector<PointId> result = SubspaceBnl(data, subspace, all, tests);
@@ -90,7 +90,7 @@ std::vector<PointId> SubspaceSkyline(const Dataset& data, Subspace subspace,
 Skycube Skycube::Compute(const Dataset& data, SkycubeStrategy strategy,
                          std::uint64_t* tests) {
   const Dim d = data.num_dims();
-  assert(d >= 1 && d <= 20 && "the skycube stores 2^d - 1 cuboids");
+  SKYLINE_ASSERT(d >= 1 && d <= 20, "the skycube stores 2^d - 1 cuboids");
   Skycube cube;
   cube.num_dims_ = d;
   const std::size_t num_masks = std::size_t{1} << d;
@@ -149,8 +149,9 @@ Skycube Skycube::Compute(const Dataset& data, SkycubeStrategy strategy,
 }
 
 const std::vector<PointId>& Skycube::skyline(Subspace subspace) const {
-  assert(!subspace.empty());
-  assert(subspace.bits() < cuboids_.size());
+  SKYLINE_ASSERT(!subspace.empty(), "skyline: empty subspace");
+  SKYLINE_ASSERT(subspace.bits() < cuboids_.size(),
+                 "skyline: subspace outside the cube's dimensionality");
   return cuboids_[subspace.bits()];
 }
 

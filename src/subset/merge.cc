@@ -1,10 +1,10 @@
 #include "src/subset/merge.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <numeric>
 
+#include "src/core/contracts.h"
 #include "src/core/dominance.h"
 #include "src/core/scores.h"
 
@@ -12,11 +12,22 @@ namespace skyline {
 
 MergeResult MergeSubspacesOver(const Dataset& data,
                                std::span<const PointId> ids, int sigma) {
-  assert(sigma >= 1);
+  SKYLINE_ASSERT(sigma >= 1, "MergeSubspacesOver: sigma must be >= 1");
   const std::size_t n = ids.size();
   const Dim d = data.num_dims();
   MergeResult out;
   if (n == 0) return out;
+
+  // Precondition (Algorithm 1): ids name distinct rows of `data`.
+  if constexpr (kSkylineDeepChecks) {
+    std::vector<bool> seen(data.num_points(), false);
+    for (PointId id : ids) {
+      SKYLINE_DCHECK(id < data.num_points(),
+                     "MergeSubspacesOver: id out of range");
+      SKYLINE_DCHECK(!seen[id], "MergeSubspacesOver: duplicate id");
+      seen[id] = true;
+    }
+  }
 
   // Line 1: score each point by (squared) Euclidean distance to the
   // corner of per-dimension minima. Squaring preserves the order and
@@ -117,10 +128,37 @@ MergeResult MergeSubspacesOver(const Dataset& data,
     prev_hist = std::move(hist);
   }
 
+  // Conservation: every input id is a pivot, a survivor, or pruned.
+  SKYLINE_ASSERT(out.pivots.size() + active.size() + out.pruned == n,
+                 "Merge: pivots + remaining + pruned must partition the input");
+
+  // Postcondition (Definition 4.1): each survivor's mask is its *maximum*
+  // dominating subspace w.r.t. the pivot set — the union of D_{q<p} over
+  // every pivot p, each of which must be non-empty (an empty D_{q<p}
+  // means p weakly dominates q, so q could not have survived).
+  if constexpr (kSkylineDeepChecks) {
+    for (const Active& q : active) {
+      const Value* q_row = data.row(q.id);
+      Subspace expect;
+      for (PointId p : out.pivots) {
+        bool q_worse = false;
+        const Subspace m =
+            DominatingSubspaceEx(q_row, data.row(p), d, &q_worse);
+        SKYLINE_DCHECK(!m.empty(),
+                       "Merge: a pivot weakly dominates a surviving point");
+        expect |= m;
+      }
+      SKYLINE_DCHECK(
+          expect == q.mask,
+          "Merge: mask is not the maximum dominating subspace w.r.t. pivots");
+    }
+  }
+
   out.remaining.reserve(active.size());
   out.subspaces.reserve(active.size());
   for (const Active& q : active) {
-    assert(!q.mask.empty());
+    SKYLINE_ASSERT(!q.mask.empty(),
+                   "Merge: surviving point carries an empty subspace");
     out.remaining.push_back(q.id);
     out.subspaces.push_back(q.mask);
   }

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <random>
 
+#include "src/core/contracts.h"
 #include "src/subset/boosted.h"
 
 namespace skyline {
@@ -45,6 +46,10 @@ SigmaEstimate EstimateSigma(const Dataset& data, std::size_t sample_size,
       out.sigma = static_cast<int>(sigma);
     }
   }
+  SKYLINE_ASSERT(out.sigma >= 2 && out.sigma <= static_cast<int>(d),
+                 "EstimateSigma: recommendation outside [2, d]");
+  SKYLINE_ASSERT(out.cost_per_sigma.size() == d - 1,
+                 "EstimateSigma: one cost entry per candidate sigma");
   return out;
 }
 

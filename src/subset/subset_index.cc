@@ -1,12 +1,14 @@
 #include "src/subset/subset_index.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/core/contracts.h"
 
 namespace skyline {
 
 void SubsetIndex::Add(PointId id, Subspace subspace) {
-  assert(subspace.IsSubsetOf(Subspace::Full(num_dims_)));
+  SKYLINE_ASSERT(subspace.IsSubsetOf(Subspace::Full(num_dims_)),
+                 "Add: subspace outside the index's full space");
   Node* node = &root_;
   // Walk the dimensions of the reversed subspace in increasing order,
   // creating nodes on demand (the get(i) of Algorithm 2).
@@ -22,6 +24,21 @@ void SubsetIndex::Add(PointId id, Subspace subspace) {
   });
   node->points.push_back(id);
   ++num_points_;
+#ifdef SKYLINE_CHECKS
+  shadow_.emplace(id, subspace.bits());
+  ValidateAccounting();
+#endif
+}
+
+void SubsetIndex::AddAlwaysCandidate(PointId id) {
+  root_.points.push_back(id);
+  ++num_points_;
+#ifdef SKYLINE_CHECKS
+  // Root storage is equivalent to Add(id, Full): the entry qualifies for
+  // every query subspace.
+  shadow_.emplace(id, Subspace::Full(num_dims_).bits());
+  ValidateAccounting();
+#endif
 }
 
 void SubsetIndex::QueryNode(const Node& node, Subspace reversed,
@@ -42,7 +59,31 @@ void SubsetIndex::QueryNode(const Node& node, Subspace reversed,
 
 void SubsetIndex::Query(Subspace subspace, std::vector<PointId>* out,
                         std::uint64_t* nodes_visited) const {
+  const std::size_t before = out->size();
   QueryNode(root_, subspace.Complement(num_dims_), out, nodes_visited);
+#ifdef SKYLINE_CHECKS
+  // Lemma 5.1 postcondition: the query returns exactly the entries whose
+  // stored subspace is a superset of `subspace` — soundness per returned
+  // id, completeness by count against the flat shadow oracle.
+  std::size_t expected = 0;
+  for (const auto& [sid, bits] : shadow_) {
+    (void)sid;
+    if (subspace.IsSubsetOf(Subspace(bits))) ++expected;
+  }
+  SKYLINE_DCHECK(out->size() - before == expected,
+                 "Query: result count differs from the linear superset scan");
+  for (std::size_t i = before; i < out->size(); ++i) {
+    const auto range = shadow_.equal_range((*out)[i]);
+    bool qualifies = false;
+    for (auto it = range.first; it != range.second; ++it) {
+      if (subspace.IsSubsetOf(Subspace(it->second))) qualifies = true;
+    }
+    SKYLINE_DCHECK(qualifies,
+                   "Query: returned an id with no superset-keyed entry");
+  }
+#else
+  (void)before;
+#endif
 }
 
 void SubsetIndex::CollectSubtree(const Node& node, std::vector<PointId>* out,
@@ -82,8 +123,31 @@ void SubsetIndex::QuerySupersetPaths(const Node& node, Subspace required,
 
 void SubsetIndex::QueryContained(Subspace subspace, std::vector<PointId>* out,
                                  std::uint64_t* nodes_visited) const {
+  const std::size_t before = out->size();
   QuerySupersetPaths(root_, subspace.Complement(num_dims_), out,
                      nodes_visited);
+#ifdef SKYLINE_CHECKS
+  // Lemma 4.3 postcondition, mirrored: exactly the subset-keyed entries.
+  std::size_t expected = 0;
+  for (const auto& [sid, bits] : shadow_) {
+    (void)sid;
+    if (Subspace(bits).IsSubsetOf(subspace)) ++expected;
+  }
+  SKYLINE_DCHECK(
+      out->size() - before == expected,
+      "QueryContained: result count differs from the linear subset scan");
+  for (std::size_t i = before; i < out->size(); ++i) {
+    const auto range = shadow_.equal_range((*out)[i]);
+    bool qualifies = false;
+    for (auto it = range.first; it != range.second; ++it) {
+      if (Subspace(it->second).IsSubsetOf(subspace)) qualifies = true;
+    }
+    SKYLINE_DCHECK(qualifies,
+                   "QueryContained: returned an id with no subset-keyed entry");
+  }
+#else
+  (void)before;
+#endif
 }
 
 std::size_t SubsetIndex::CountSubtreeNodes(const Node& node) {
@@ -112,7 +176,8 @@ void SubsetIndex::MergeNodes(Node* dst, Node&& src, std::size_t* new_nodes) {
 }
 
 void SubsetIndex::MergeFrom(SubsetIndex&& other) {
-  assert(other.num_dims_ == num_dims_);
+  SKYLINE_ASSERT(other.num_dims_ == num_dims_,
+                 "MergeFrom: dimensionality mismatch");
   std::size_t new_nodes = 0;
   const std::size_t moved_points = other.num_points_;
   MergeNodes(&root_, std::move(other.root_), &new_nodes);
@@ -121,6 +186,11 @@ void SubsetIndex::MergeFrom(SubsetIndex&& other) {
   other.root_ = Node{};
   other.num_nodes_ = 0;
   other.num_points_ = 0;
+#ifdef SKYLINE_CHECKS
+  shadow_.insert(other.shadow_.begin(), other.shadow_.end());
+  other.shadow_.clear();
+  ValidateAccounting();
+#endif
 }
 
 bool SubsetIndex::Remove(PointId id, Subspace subspace) {
@@ -143,7 +213,48 @@ bool SubsetIndex::Remove(PointId id, Subspace subspace) {
   *it = node->points.back();
   node->points.pop_back();
   --num_points_;
+#ifdef SKYLINE_CHECKS
+  const auto range = shadow_.equal_range(id);
+  for (auto sit = range.first; sit != range.second; ++sit) {
+    if (sit->second == subspace.bits()) {
+      shadow_.erase(sit);
+      break;
+    }
+  }
+  ValidateAccounting();
+#endif
   return true;
 }
+
+#ifdef SKYLINE_CHECKS
+void SubsetIndex::ValidateAccounting() const {
+  struct Walker {
+    Dim num_dims;
+    std::size_t nodes = 0;
+    std::size_t points = 0;
+    void Walk(const Node& node, int min_key) {
+      points += node.points.size();
+      int last = min_key;
+      for (const auto& [dim, child] : node.children) {
+        SKYLINE_DCHECK(child != nullptr, "index: null child node");
+        SKYLINE_DCHECK(dim < num_dims, "index: child key outside full space");
+        SKYLINE_DCHECK(static_cast<int>(dim) > last,
+                       "index: child keys not strictly increasing");
+        last = static_cast<int>(dim);
+        ++nodes;
+        Walk(*child, static_cast<int>(dim));
+      }
+    }
+  };
+  Walker w{num_dims_};
+  w.Walk(root_, -1);
+  SKYLINE_DCHECK(w.nodes == num_nodes_,
+                 "index: num_nodes_ accounting out of sync with the tree");
+  SKYLINE_DCHECK(w.points == num_points_,
+                 "index: num_points_ accounting out of sync with the tree");
+  SKYLINE_DCHECK(shadow_.size() == num_points_,
+                 "index: shadow oracle out of sync with num_points_");
+}
+#endif
 
 }  // namespace skyline

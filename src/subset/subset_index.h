@@ -30,6 +30,11 @@
 #include <memory>
 #include <vector>
 
+#ifdef SKYLINE_CHECKS
+#include <unordered_map>
+#endif
+
+#include "src/core/contracts.h"
 #include "src/core/subspace.h"
 #include "src/core/types.h"
 
@@ -53,10 +58,7 @@ class SubsetIndex {
 
   /// Registers an id that every query must return (path = empty reversed
   /// subspace, i.e. the root node).
-  void AddAlwaysCandidate(PointId id) {
-    root_.points.push_back(id);
-    ++num_points_;
-  }
+  void AddAlwaysCandidate(PointId id);
 
   /// Algorithms 3 and 4: appends to `out` every id stored with a
   /// subspace ⊇ `subspace`. If `nodes_visited` is non-null it is
@@ -123,6 +125,19 @@ class SubsetIndex {
   Node root_;
   std::size_t num_nodes_ = 0;
   std::size_t num_points_ = 0;
+
+#ifdef SKYLINE_CHECKS
+  /// Deep-check shadow: every stored (id, subspace) pair, kept in sync by
+  /// Add/AddAlwaysCandidate/Remove/MergeFrom. Query postconditions verify
+  /// soundness (returned ids are superset-keyed) and completeness
+  /// (qualifying entry counts match) against this flat oracle.
+  std::unordered_multimap<PointId, std::uint64_t> shadow_;
+
+  /// Recounts nodes and points, and re-verifies the structural invariant
+  /// (children sorted, path keys strictly increasing, keys < num_dims_)
+  /// against the num_nodes_/num_points_ accounting.
+  void ValidateAccounting() const;
+#endif
 };
 
 }  // namespace skyline

@@ -135,8 +135,12 @@ TEST_P(DominanceRandomTest, CompareConsistentWithDominates) {
     const bool ba = Dominates(b.data(), a.data(), d);
     EXPECT_FALSE(ab && ba) << "dominance must be asymmetric";
     const DominanceRelation rel = Compare(a.data(), b.data(), d);
-    if (ab) EXPECT_EQ(rel, DominanceRelation::kFirstDominates);
-    if (ba) EXPECT_EQ(rel, DominanceRelation::kSecondDominates);
+    if (ab) {
+      EXPECT_EQ(rel, DominanceRelation::kFirstDominates);
+    }
+    if (ba) {
+      EXPECT_EQ(rel, DominanceRelation::kSecondDominates);
+    }
     if (!ab && !ba) {
       EXPECT_TRUE(rel == DominanceRelation::kEqual ||
                   rel == DominanceRelation::kIncomparable);

@@ -40,7 +40,9 @@ TEST(SubspaceTest, FullContainsEveryDimension) {
     Subspace full = Subspace::Full(d);
     EXPECT_EQ(full.size(), d) << "d=" << d;
     for (Dim i = 0; i < d; ++i) EXPECT_TRUE(full.Contains(i));
-    if (d < 64) EXPECT_FALSE(full.Contains(d));
+    if (d < 64) {
+      EXPECT_FALSE(full.Contains(d));
+    }
   }
 }
 
@@ -162,6 +164,72 @@ TEST_P(SubspacePropertyTest, AlgebraLawsHoldOnRandomMasks) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SubspacePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Maximum-dimensionality (d = kMaxDims = 64) edge cases: the full
+// mask needs every bit of the underlying uint64_t, so shift-width and
+// sign bugs surface exactly here. ---
+
+TEST(SubspaceMaxDimTest, FullMaskUsesAllSixtyFourBits) {
+  const Subspace full = Subspace::Full(Subspace::kMaxDims);
+  EXPECT_EQ(full.bits(), ~std::uint64_t{0});
+  EXPECT_EQ(full.size(), Subspace::kMaxDims);
+  EXPECT_FALSE(full.empty());
+  EXPECT_TRUE(full.Contains(0));
+  EXPECT_TRUE(full.Contains(Subspace::kMaxDims - 1));
+  EXPECT_EQ(full.Lowest(), 0u);
+}
+
+TEST(SubspaceMaxDimTest, EmptyMaskComplementsToFull) {
+  const Subspace empty;
+  const Subspace full = Subspace::Full(Subspace::kMaxDims);
+  EXPECT_EQ(empty.Complement(Subspace::kMaxDims), full);
+  EXPECT_EQ(full.Complement(Subspace::kMaxDims), empty);
+}
+
+TEST(SubspaceMaxDimTest, ComplementRoundTripsAtMaxDims) {
+  std::mt19937_64 rng(424242);
+  for (int i = 0; i < 100; ++i) {
+    const Subspace s(rng());
+    EXPECT_EQ(s.Complement(Subspace::kMaxDims).Complement(Subspace::kMaxDims),
+              s);
+    EXPECT_EQ(s.size() + s.Complement(Subspace::kMaxDims).size(),
+              Subspace::kMaxDims);
+  }
+}
+
+TEST(SubspaceMaxDimTest, HighestDimensionIsOrdinary) {
+  const Dim top = Subspace::kMaxDims - 1;
+  Subspace s = Subspace::Single(top);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.Lowest(), top);
+  EXPECT_TRUE(s.Contains(top));
+  EXPECT_EQ(s.ToString(), "{63}");
+  s.Remove(top);
+  EXPECT_TRUE(s.empty());
+  s.Add(top);
+  EXPECT_EQ(s, Subspace::Single(top));
+}
+
+TEST(SubspaceMaxDimTest, ForEachDimWalksAllSixtyFour) {
+  const Subspace full = Subspace::Full(Subspace::kMaxDims);
+  Dim expected = 0;
+  full.ForEachDim([&](Dim d) {
+    EXPECT_EQ(d, expected);
+    ++expected;
+  });
+  EXPECT_EQ(expected, Subspace::kMaxDims);
+}
+
+TEST(SubspaceMaxDimTest, FullIsSupersetOfEveryMask) {
+  std::mt19937_64 rng(99);
+  const Subspace full = Subspace::Full(Subspace::kMaxDims);
+  for (int i = 0; i < 50; ++i) {
+    const Subspace s(rng());
+    EXPECT_TRUE(s.IsSubsetOf(full));
+    EXPECT_TRUE(full.IsSupersetOf(s));
+    EXPECT_EQ(s.IsProperSubsetOf(full), s != full);
+  }
+}
 
 }  // namespace
 }  // namespace skyline

@@ -41,7 +41,9 @@ TEST(TextTableTest, ColumnsAreAligned) {
     const auto pos1 = line.find('1');
     const auto pos2 = line.find('2');
     if (pos1 != std::string::npos) v_col = pos1;
-    if (pos2 != std::string::npos) EXPECT_EQ(pos2, v_col);
+    if (pos2 != std::string::npos) {
+      EXPECT_EQ(pos2, v_col);
+    }
   }
 }
 

@@ -1,0 +1,112 @@
+// Deterministic replays of the fuzz harnesses (fuzz/harness_*.h).
+//
+// Two layers: (1) the checked-in seed-corpus inputs, embedded as byte
+// arrays so the regression does not depend on file paths — any input a
+// fuzzer ever finds gets promoted into kPromoted* below; (2) a short
+// fixed-seed random sweep per harness, which keeps a miniature fuzz run
+// inside the ordinary test suite. A harness oracle mismatch aborts, so
+// a regression shows up as a crashed test, exactly like in the fuzzer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "fuzz/harness_merge.h"
+#include "fuzz/harness_subset_index.h"
+#include "fuzz/harness_subspace.h"
+
+namespace skyline {
+namespace {
+
+using fuzz::RunMergeFuzzInput;
+using fuzz::RunSubsetIndexFuzzInput;
+using fuzz::RunSubspaceFuzzInput;
+
+std::vector<std::uint8_t> RandomBytes(std::mt19937_64& rng,
+                                      std::size_t max_len) {
+  std::vector<std::uint8_t> bytes(rng() % (max_len + 1));
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+  return bytes;
+}
+
+// fuzz/corpus/subspace/seed-edges.bin: d=64 full-vs-empty, d=1, d=8
+// interleaved — the boundary cases for the 64-bit mask arithmetic.
+TEST(FuzzRegressionTest, SubspaceCorpusEdges) {
+  std::vector<std::uint8_t> input;
+  input.push_back(63);
+  for (int i = 0; i < 8; ++i) input.push_back(0xFF);
+  for (int i = 0; i < 8; ++i) input.push_back(0x00);
+  input.push_back(0);
+  input.push_back(0x01);
+  for (int i = 0; i < 7; ++i) input.push_back(0x00);
+  input.push_back(0x01);
+  for (int i = 0; i < 7; ++i) input.push_back(0x00);
+  input.push_back(7);
+  input.push_back(0xAA);
+  for (int i = 0; i < 7; ++i) input.push_back(0x00);
+  input.push_back(0x55);
+  for (int i = 0; i < 7; ++i) input.push_back(0x00);
+  RunSubspaceFuzzInput(input.data(), input.size());
+}
+
+// fuzz/corpus/merge/seed-dups.bin: every point identical — the
+// weak-dominance duplicate path must classify all of them as pivots.
+TEST(FuzzRegressionTest, MergeCorpusAllDuplicates) {
+  std::vector<std::uint8_t> input = {1, 0};
+  for (int i = 0; i < 12; ++i) input.push_back(8);
+  RunMergeFuzzInput(input.data(), input.size());
+}
+
+// fuzz/corpus/merge/seed-antichain.bin: a 3-d anti-correlated chain
+// where no point dominates any other (maximal skyline).
+TEST(FuzzRegressionTest, MergeCorpusAntichain) {
+  std::vector<std::uint8_t> input = {2, 1, 0, 15, 1, 14, 2, 13, 3,
+                                     12, 4, 11, 5, 10, 6, 9, 7, 8};
+  RunMergeFuzzInput(input.data(), input.size());
+}
+
+// fuzz/corpus/subset_index/seed-ops.bin: the scripted op sequence that
+// exercises Add, AddAlwaysCandidate, MergeFrom, both query directions
+// and Remove against the flat oracle.
+TEST(FuzzRegressionTest, SubsetIndexCorpusOps) {
+  const std::vector<std::uint8_t> input = {
+      5,                 // nd = 6
+      0, 1, 0b11, 0,     // Add id=1 mask={0,1}
+      0, 2, 0b110, 0,    // Add id=2 mask={1,2}
+      3, 7,              // AddAlwaysCandidate id=7
+      5, 0b10, 0,        // Query {1}
+      2, 3, 0b111, 0,    // staging Add id=3 mask={0,1,2}
+      7,                 // MergeFrom staging
+      6, 0b111, 0,       // QueryContained {0,1,2}
+      4, 0,              // Remove (oracle-checked branch)
+  };
+  RunSubsetIndexFuzzInput(input.data(), input.size());
+}
+
+TEST(FuzzRegressionTest, SubspaceShortRandomSweep) {
+  std::mt19937_64 rng(0xA11CE);
+  for (int i = 0; i < 300; ++i) {
+    const auto input = RandomBytes(rng, 128);
+    RunSubspaceFuzzInput(input.data(), input.size());
+  }
+}
+
+TEST(FuzzRegressionTest, MergeShortRandomSweep) {
+  std::mt19937_64 rng(0xB0B);
+  for (int i = 0; i < 200; ++i) {
+    const auto input = RandomBytes(rng, 192);
+    RunMergeFuzzInput(input.data(), input.size());
+  }
+}
+
+TEST(FuzzRegressionTest, SubsetIndexShortRandomSweep) {
+  std::mt19937_64 rng(0xCAFE);
+  for (int i = 0; i < 200; ++i) {
+    const auto input = RandomBytes(rng, 256);
+    RunSubsetIndexFuzzInput(input.data(), input.size());
+  }
+}
+
+}  // namespace
+}  // namespace skyline

@@ -365,5 +365,94 @@ TEST(SubsetIndexTest, QueryNeverReturnsDuplicates) {
   }
 }
 
+// --- Empty-index and single-pivot edge cases (ISSUE 2 satellite). ---
+
+TEST(SubsetIndexEdgeTest, EmptyIndexAnswersEveryQueryShape) {
+  SubsetIndex index(4);
+  std::vector<PointId> out;
+  std::uint64_t nodes = 0;
+  index.Query(Subspace{}, &out, &nodes);          // weakest probe
+  index.Query(Subspace::Full(4), &out, &nodes);   // strongest probe
+  index.QueryContained(Subspace{}, &out, &nodes);
+  index.QueryContained(Subspace::Full(4), &out, &nodes);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(index.num_nodes(), 0u);
+  EXPECT_EQ(index.num_points(), 0u);
+  EXPECT_GE(nodes, 4u);  // each query touches at least the root
+}
+
+TEST(SubsetIndexEdgeTest, RemoveOnEmptyIndexReturnsFalse) {
+  SubsetIndex index(4);
+  EXPECT_FALSE(index.Remove(0, Subspace{0, 1}));
+  EXPECT_FALSE(index.Remove(0, Subspace{}));
+  EXPECT_EQ(index.num_points(), 0u);
+}
+
+TEST(SubsetIndexEdgeTest, MergeFromEmptyIsANoOp) {
+  SubsetIndex index(5);
+  index.Add(3, Subspace{0, 2});
+  SubsetIndex empty(5);
+  index.MergeFrom(std::move(empty));
+  EXPECT_EQ(index.num_points(), 1u);
+  std::vector<PointId> out;
+  index.Query(Subspace{0}, &out);
+  EXPECT_EQ(out, std::vector<PointId>{3});
+}
+
+TEST(SubsetIndexEdgeTest, SinglePivotIsReturnedByEveryQuery) {
+  // A Merge pivot is registered as an always-candidate: the root-stored
+  // id must come back for every probe, from empty to full.
+  SubsetIndex index(6);
+  index.AddAlwaysCandidate(42);
+  EXPECT_EQ(index.num_points(), 1u);
+  EXPECT_EQ(index.num_nodes(), 0u);  // root is not counted
+  for (std::uint64_t bits = 0; bits < 64; ++bits) {
+    std::vector<PointId> out;
+    index.Query(Subspace(bits), &out);
+    EXPECT_EQ(out, std::vector<PointId>{42}) << "bits=" << bits;
+  }
+}
+
+TEST(SubsetIndexEdgeTest, SingleStoredSubspaceFiltersByQuerySide) {
+  SubsetIndex index(4);
+  index.Add(7, Subspace{1, 3});
+  std::vector<PointId> out;
+  index.Query(Subspace{1}, &out);  // {1} subset of {1,3}: hit
+  EXPECT_EQ(out, std::vector<PointId>{7});
+  out.clear();
+  index.Query(Subspace{0}, &out);  // {0} not subset: miss
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  index.Query(Subspace{1, 3}, &out);  // exact: hit
+  EXPECT_EQ(out, std::vector<PointId>{7});
+  out.clear();
+  index.Query(Subspace{0, 1, 3}, &out);  // proper superset: miss
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  index.QueryContained(Subspace{0, 1, 3}, &out);  // superset probe: hit
+  EXPECT_EQ(out, std::vector<PointId>{7});
+  out.clear();
+  index.QueryContained(Subspace{1}, &out);  // subset probe: miss
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SubsetIndexEdgeTest, SingleEntryRemoveRoundTrip) {
+  SubsetIndex index(4);
+  index.Add(9, Subspace{0, 2});
+  EXPECT_FALSE(index.Remove(9, Subspace{0, 1}));  // wrong subspace
+  EXPECT_FALSE(index.Remove(8, Subspace{0, 2}));  // wrong id
+  EXPECT_TRUE(index.Remove(9, Subspace{0, 2}));
+  EXPECT_EQ(index.num_points(), 0u);
+  std::vector<PointId> out;
+  index.Query(Subspace{}, &out);
+  EXPECT_TRUE(out.empty());
+  // Nodes are deliberately not reclaimed; re-adding reuses the path.
+  const std::size_t nodes_after_remove = index.num_nodes();
+  index.Add(9, Subspace{0, 2});
+  EXPECT_EQ(index.num_nodes(), nodes_after_remove);
+  EXPECT_EQ(index.num_points(), 1u);
+}
+
 }  // namespace
 }  // namespace skyline
+
