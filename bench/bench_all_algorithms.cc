@@ -3,6 +3,7 @@
 // 8-D dataset per data family.
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "src/algo/registry.h"
 #include "src/data/generator.h"
 #include "src/harness/options.h"
@@ -12,10 +13,11 @@
 int main(int argc, char** argv) {
   using namespace skyline;
   BenchOptions opts = BenchOptions::Parse(argc, argv);
-  const std::size_t n = opts.full ? 200000 : 10000;
+  const std::size_t n = opts.full ? 200000 : (opts.quick ? 2000 : 10000);
   const Dim d = 8;
   std::cout << "# All registered algorithms, 8-D, " << n << " points\n\n";
 
+  JsonReport report("bench_all_algorithms");
   for (DataType type : {DataType::kAntiCorrelated, DataType::kCorrelated,
                         DataType::kUniformIndependent}) {
     Dataset data = Generate(type, n, d, opts.seed);
@@ -26,6 +28,9 @@ int main(int argc, char** argv) {
       table.AddRow({name, TextTable::FormatNumber(r.mean_dominance_tests),
                     TextTable::FormatNumber(r.elapsed_ms),
                     std::to_string(r.skyline_size)});
+      report.Add({"", bench::ScenarioLabel(type, n, d, opts.seed), name, n, d,
+                  opts.seed, opts.EffectiveRuns(), r.mean_dominance_tests,
+                  r.elapsed_ms, r.skyline_size});
       std::cerr << "  [all] " << ShortName(type) << " " << name << " done\n";
     }
     table.Print(std::cout, std::string(ShortName(type)) +
@@ -33,5 +38,5 @@ int main(int argc, char** argv) {
                                std::to_string(n) + " points");
     std::cout << '\n';
   }
-  return 0;
+  return bench::FinishJson(opts, report);
 }

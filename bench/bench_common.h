@@ -11,6 +11,7 @@
 
 #include "src/algo/registry.h"
 #include "src/data/generator.h"
+#include "src/harness/json_report.h"
 #include "src/harness/options.h"
 #include "src/harness/runner.h"
 #include "src/harness/table.h"
@@ -46,6 +47,37 @@ inline Measurements MeasureAll(const Dataset& data, const BenchOptions& opts,
   }
   for (const auto& name : roster.baselines) run(name);
   return out;
+}
+
+/// Standard scenario label of the JSON reports: family, dimensionality,
+/// cardinality and seed, e.g. "UI-d8-n4000-s42".
+inline std::string ScenarioLabel(DataType type, std::size_t n, unsigned d,
+                                 std::uint64_t seed) {
+  return std::string(ShortName(type)) + "-d" + std::to_string(d) + "-n" +
+         std::to_string(n) + "-s" + std::to_string(seed);
+}
+
+/// Appends one BenchRecord per measured algorithm to `report` (no-op on
+/// nullptr), so every sweep bench can emit the machine-readable report
+/// behind `--json` without changing its printed tables.
+inline void AppendMeasurements(JsonReport* report, DataType type,
+                               std::size_t n, unsigned d,
+                               const BenchOptions& opts,
+                               const Measurements& m) {
+  if (report == nullptr) return;
+  for (const auto& [name, r] : m.by_algorithm) {
+    BenchRecord rec;
+    rec.scenario = ScenarioLabel(type, n, d, opts.seed);
+    rec.algorithm = name;
+    rec.n = n;
+    rec.d = d;
+    rec.seed = opts.seed;
+    rec.runs = opts.EffectiveRuns();
+    rec.dt_per_point = r.mean_dominance_tests;
+    rec.rt_ms = r.elapsed_ms;
+    rec.skyline_size = r.skyline_size;
+    report->Add(std::move(rec));
+  }
 }
 
 /// Prints the paper's table layout: one column per sweep entry, one row
@@ -95,13 +127,15 @@ inline void PrintSweepTable(std::ostream& out, const std::string& title,
 /// type and prints both metric tables.
 inline void RunDimensionSweep(DataType type, const BenchOptions& opts,
                               const std::string& dt_title,
-                              const std::string& rt_title) {
+                              const std::string& rt_title,
+                              JsonReport* report = nullptr) {
   const std::size_t n = opts.SweepCardinality();
   std::vector<std::string> labels;
   std::vector<Measurements> columns;
   for (unsigned d : opts.DimensionSweep()) {
     Dataset data = Generate(type, n, d, opts.seed);
     columns.push_back(MeasureAll(data, opts));
+    AppendMeasurements(report, type, n, d, opts, columns.back());
     labels.push_back(std::to_string(d) + "-D");
     std::cerr << "  [" << ShortName(type) << " dim sweep] d=" << d
               << " done\n";
@@ -115,13 +149,15 @@ inline void RunDimensionSweep(DataType type, const BenchOptions& opts,
 /// Runs the cardinality sweep of Tables 4/5, 8/9, 12/13 (8-D data).
 inline void RunCardinalitySweep(DataType type, const BenchOptions& opts,
                                 const std::string& dt_title,
-                                const std::string& rt_title) {
+                                const std::string& rt_title,
+                                JsonReport* report = nullptr) {
   const Dim d = 8;
   std::vector<std::string> labels;
   std::vector<Measurements> columns;
   for (std::size_t n : opts.CardinalitySweep()) {
     Dataset data = Generate(type, n, d, opts.seed);
     columns.push_back(MeasureAll(data, opts));
+    AppendMeasurements(report, type, n, d, opts, columns.back());
     if (n % 1000 == 0) {
       labels.push_back(std::to_string(n / 1000) + "K");
     } else {
@@ -134,6 +170,14 @@ inline void RunCardinalitySweep(DataType type, const BenchOptions& opts,
                   Metric::kDominanceTests);
   PrintSweepTable(std::cout, rt_title, "Cardinality", labels, columns,
                   Metric::kElapsedMs);
+}
+
+/// Writes the JSON report when `--json=PATH` was given; returns the
+/// process exit code (I/O failure must fail the bench, or the CI perf
+/// gate would silently compare stale files).
+inline int FinishJson(const BenchOptions& opts, const JsonReport& report) {
+  if (opts.json_path.empty()) return 0;
+  return report.WriteFile(opts.json_path) ? 0 : 1;
 }
 
 inline void PrintScaleBanner(const BenchOptions& opts, const char* what) {

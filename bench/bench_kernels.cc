@@ -1,0 +1,297 @@
+// Microbenchmark of the dominance-kernel layer (src/core/kernels.h):
+// scalar reference loops over packed Dataset rows vs vectorized kernels
+// over padded, 64-byte-aligned AlignedDataset rows, plus the batched
+// one-vs-many probes the subset algorithms execute.
+//
+// Every variant accumulates a checksum; a scalar/kernel checksum or
+// scan-count mismatch fails the binary, so the perf numbers can never
+// come from semantically diverged code. DT-style metrics (row scans per
+// point) are deterministic given the seed and form the CI hard gate;
+// wall time is advisory.
+//
+// Usage: bench_kernels [--quick|--full] [--runs=N] [--seed=N]
+//                      [--json=PATH]
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <numeric>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/aligned_dataset.h"
+#include "src/core/dominance.h"
+#include "src/core/kernels.h"
+#include "src/data/generator.h"
+#include "src/harness/json_report.h"
+#include "src/harness/options.h"
+#include "src/harness/table.h"
+
+namespace {
+
+using namespace skyline;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct VariantResult {
+  double ms = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t scans = 0;  // O(d) row scans performed (deterministic)
+};
+
+/// Times `pass` (which returns {checksum, scans}) `runs` times; reports
+/// the mean wall time and the last checksum/scans.
+VariantResult Run(int runs,
+                  const std::function<std::pair<std::uint64_t, std::uint64_t>()>&
+                      pass) {
+  VariantResult out;
+  double total = 0;
+  for (int r = 0; r < runs; ++r) {
+    const double t0 = NowMs();
+    auto [checksum, scans] = pass();
+    total += NowMs() - t0;
+    out.checksum = checksum;
+    out.scans = scans;
+  }
+  out.ms = total / runs;
+  return out;
+}
+
+int g_failures = 0;
+
+/// Registers a scalar/kernel variant pair: checks checksum + scan
+/// equality, prints one table row, appends two JSON records.
+void Record(JsonReport* report, TextTable* table, const std::string& scenario,
+            std::size_t n, Dim d, std::uint64_t seed, int runs,
+            const std::string& name, const VariantResult& scalar,
+            const VariantResult& kernel) {
+  if (scalar.checksum != kernel.checksum || scalar.scans != kernel.scans) {
+    std::cerr << "MISMATCH in " << scenario << " " << name
+              << ": scalar checksum=" << scalar.checksum
+              << " scans=" << scalar.scans
+              << " vs kernel checksum=" << kernel.checksum
+              << " scans=" << kernel.scans << "\n";
+    ++g_failures;
+  }
+  const double dt = static_cast<double>(scalar.scans) / static_cast<double>(n);
+  table->AddRow({name, TextTable::FormatNumber(dt),
+                 TextTable::FormatNumber(scalar.ms),
+                 TextTable::FormatNumber(kernel.ms),
+                 TextTable::FormatGain(scalar.ms, kernel.ms)});
+  report->Add({"", scenario, "scalar/" + name, n, d, seed, runs, dt, scalar.ms,
+               0});
+  report->Add({"", scenario, "kernel/" + name, n, d, seed, runs, dt, kernel.ms,
+               0});
+}
+
+void BenchScenario(DataType type, std::size_t n, Dim d,
+                   const BenchOptions& opts, JsonReport* report) {
+  const int runs = opts.EffectiveRuns();
+  const std::string scenario = bench::ScenarioLabel(type, n, d, opts.seed);
+  const Dataset data = Generate(type, n, d, opts.seed);
+  const AlignedDataset aligned(data);
+
+  // Fixed pseudo-random pair sequence for the pairwise kernels.
+  const std::size_t num_pairs = 4 * n;
+  std::vector<std::pair<PointId, PointId>> pairs(num_pairs);
+  std::mt19937_64 rng(opts.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (auto& p : pairs) {
+    p = {static_cast<PointId>(rng() % n), static_cast<PointId>(rng() % n)};
+  }
+
+  // Pivot block for the batched probes: the strongest points by
+  // coordinate sum, the shape of a SubsetIndex candidate list.
+  const std::size_t block_size = std::min<std::size_t>(64, n);
+  std::vector<PointId> by_sum(n);
+  std::iota(by_sum.begin(), by_sum.end(), PointId{0});
+  std::sort(by_sum.begin(), by_sum.end(), [&](PointId a, PointId b) {
+    const Value* ra = data.row(a);
+    const Value* rb = data.row(b);
+    Value sa = 0, sb = 0;
+    for (Dim k = 0; k < d; ++k) {
+      sa += ra[k];
+      sb += rb[k];
+    }
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  const std::vector<PointId> block(by_sum.begin(),
+                                   by_sum.begin() + block_size);
+
+  TextTable table({"Kernel", "scans/point", "scalar ms", "kernel ms", "gain"});
+
+  // ---- dominates: pairwise a < b over the pair sequence. ----
+  const auto scalar_dom = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    for (const auto& [a, b] : pairs) {
+      checksum += Dominates(data.row(a), data.row(b), d) ? 1 : 0;
+    }
+    return std::make_pair(checksum, static_cast<std::uint64_t>(num_pairs));
+  });
+  const auto kernel_dom = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    for (const auto& [a, b] : pairs) {
+      checksum += kernels::Dominates(aligned.row_unchecked(a),
+                                     aligned.row_unchecked(b), d)
+                      ? 1
+                      : 0;
+    }
+    return std::make_pair(checksum, static_cast<std::uint64_t>(num_pairs));
+  });
+  Record(report, &table, scenario, n, d, opts.seed, runs, "dominates",
+         scalar_dom, kernel_dom);
+
+  // ---- compare: full pair classification. ----
+  const auto scalar_cmp = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    for (const auto& [a, b] : pairs) {
+      checksum += static_cast<std::uint64_t>(Compare(data.row(a), data.row(b), d));
+    }
+    return std::make_pair(checksum, static_cast<std::uint64_t>(num_pairs));
+  });
+  const auto kernel_cmp = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    for (const auto& [a, b] : pairs) {
+      checksum += static_cast<std::uint64_t>(kernels::Compare(
+          aligned.row_unchecked(a), aligned.row_unchecked(b), d));
+    }
+    return std::make_pair(checksum, static_cast<std::uint64_t>(num_pairs));
+  });
+  Record(report, &table, scenario, n, d, opts.seed, runs, "compare",
+         scalar_cmp, kernel_cmp);
+
+  // ---- dominating-subspace-ex: the Merge inner-loop pair kernel. ----
+  const auto scalar_dse = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    for (const auto& [a, b] : pairs) {
+      bool worse = false;
+      checksum += DominatingSubspaceEx(data.row(a), data.row(b), d, &worse)
+                      .bits() +
+                  (worse ? 1 : 0);
+    }
+    return std::make_pair(checksum, static_cast<std::uint64_t>(num_pairs));
+  });
+  const auto kernel_dse = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    for (const auto& [a, b] : pairs) {
+      bool worse = false;
+      checksum += kernels::DominatingSubspaceEx(aligned.row_unchecked(a),
+                                                aligned.row_unchecked(b), d,
+                                                &worse)
+                      .bits() +
+                  (worse ? 1 : 0);
+    }
+    return std::make_pair(checksum, static_cast<std::uint64_t>(num_pairs));
+  });
+  Record(report, &table, scenario, n, d, opts.seed, runs,
+         "dominating-subspace-ex", scalar_dse, kernel_dse);
+
+  // ---- dominates-any: every point probed against the pivot block,
+  // early exit at the first dominator (the retrieval-loop shape). ----
+  const auto scalar_any = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    std::uint64_t scans = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      const Value* q_row = data.row(static_cast<PointId>(q));
+      bool dominated = false;
+      for (PointId s : block) {
+        ++scans;
+        if (Dominates(data.row(s), q_row, d)) {
+          dominated = true;
+          break;
+        }
+      }
+      checksum += dominated ? 1 : 0;
+    }
+    return std::make_pair(checksum, scans);
+  });
+  const auto kernel_any = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    std::uint64_t scans = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      const auto r = kernels::DominatesAny(
+          aligned, block, aligned.row_unchecked(q), d);
+      scans += r.scanned;
+      checksum += r.first != kernels::kNoDominator ? 1 : 0;
+    }
+    return std::make_pair(checksum, scans);
+  });
+  Record(report, &table, scenario, n, d, opts.seed, runs, "dominates-any",
+         scalar_any, kernel_any);
+
+  // ---- dominating-subspace-batch: every point's mask folded over the
+  // pivot block (the re-base shape). ----
+  const auto scalar_fold = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    std::uint64_t scans = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      const Value* q_row = data.row(static_cast<PointId>(q));
+      Subspace mask;
+      for (PointId s : block) {
+        if (s == static_cast<PointId>(q)) continue;
+        ++scans;
+        bool worse = false;
+        const Subspace m =
+            DominatingSubspaceEx(q_row, data.row(s), d, &worse);
+        if (m.empty() && worse) {
+          mask = Subspace{};
+          break;
+        }
+        mask |= m;
+      }
+      checksum += mask.bits();
+    }
+    return std::make_pair(checksum, scans);
+  });
+  const auto kernel_fold = Run(runs, [&] {
+    std::uint64_t checksum = 0;
+    std::uint64_t scans = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      const auto r = kernels::DominatingSubspaceBatch(
+          aligned, block, aligned.row_unchecked(q), d,
+          /*skip=*/static_cast<PointId>(q));
+      scans += r.scanned;
+      checksum +=
+          r.dominated_by != kernels::kNoDominator ? 0 : r.mask.bits();
+    }
+    return std::make_pair(checksum, scans);
+  });
+  Record(report, &table, scenario, n, d, opts.seed, runs,
+         "dominating-subspace-batch", scalar_fold, kernel_fold);
+
+  table.Print(std::cout, scenario + ": scalar vs vectorized kernels");
+  std::cout << '\n';
+  std::cerr << "  [kernels] " << scenario << " done\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const std::size_t n = opts.full ? 64000 : (opts.quick ? 4000 : 16000);
+  const std::vector<Dim> dims =
+      opts.quick ? std::vector<Dim>{8} : std::vector<Dim>{4, 8, 16};
+  std::cout << "# Dominance-kernel microbench — n=" << n
+            << ", runs=" << opts.EffectiveRuns() << ", seed=" << opts.seed
+            << "\n\n";
+
+  JsonReport report("bench_kernels");
+  for (DataType type : {DataType::kUniformIndependent, DataType::kCorrelated,
+                        DataType::kAntiCorrelated}) {
+    for (Dim d : dims) {
+      BenchScenario(type, n, d, opts, &report);
+    }
+  }
+  if (g_failures != 0) {
+    std::cerr << g_failures << " scalar/kernel mismatches\n";
+    return 1;
+  }
+  return bench::FinishJson(opts, report);
+}

@@ -1,0 +1,54 @@
+// Standardized perf scenario set for the CI gate: the paper's three data
+// families (UI/CO/AC) at one fixed (n, d, seed) each, across the base
+// algorithms, their subset-boosted variants and the parallel engine.
+// scripts/run_bench_suite.sh runs this with --quick and publishes the
+// JSON as BENCH_subset.json; scripts/check_perf.py gates on the
+// deterministic DT column against bench/baselines/BENCH_subset.json.
+//
+// Usage: bench_subset_suite [--quick|--full] [--runs=N] [--seed=N]
+//                           [--json=PATH]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace skyline;
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const std::size_t n = opts.full ? 100000 : (opts.quick ? 4000 : 10000);
+  const Dim d = 8;
+  // The roster the perf trajectory tracks: each base directly followed
+  // by its boosted variant, then the strongest baseline and the
+  // parallel subset engine.
+  const std::vector<std::string> roster = {
+      "sfs",      "sfs-subset",  "salsa",      "salsa-subset",
+      "sdi",      "sdi-subset",  "bskytree-s", "parallel-subset-sfs",
+  };
+  std::cout << "# Subset-suite scenario set — 8-D, n=" << n
+            << ", runs=" << opts.EffectiveRuns() << ", seed=" << opts.seed
+            << "\n\n";
+
+  JsonReport report("bench_subset_suite");
+  for (DataType type : {DataType::kUniformIndependent, DataType::kCorrelated,
+                        DataType::kAntiCorrelated}) {
+    Dataset data = Generate(type, n, d, opts.seed);
+    TextTable table({"Algorithm", "DT/point", "RT (ms)", "skyline"});
+    for (const std::string& name : roster) {
+      auto algo = MakeAlgorithm(name);
+      RunResult r = RunAlgorithm(*algo, data, opts.EffectiveRuns());
+      table.AddRow({name, TextTable::FormatNumber(r.mean_dominance_tests),
+                    TextTable::FormatNumber(r.elapsed_ms),
+                    std::to_string(r.skyline_size)});
+      report.Add({"", bench::ScenarioLabel(type, n, d, opts.seed), name, n, d,
+                  opts.seed, opts.EffectiveRuns(), r.mean_dominance_tests,
+                  r.elapsed_ms, r.skyline_size});
+      std::cerr << "  [suite] " << ShortName(type) << " " << name << " done\n";
+    }
+    table.Print(std::cout, std::string(ShortName(type)) +
+                               ": subset suite, 8-D, " + std::to_string(n) +
+                               " points");
+    std::cout << '\n';
+  }
+  return bench::FinishJson(opts, report);
+}

@@ -6,9 +6,11 @@ int main(int argc, char** argv) {
   using namespace skyline;
   BenchOptions opts = BenchOptions::Parse(argc, argv);
   bench::PrintScaleBanner(opts, "Tables 2/3: AC data, dimensionality sweep");
+  JsonReport report("bench_table02_03_ac_dim");
   bench::RunDimensionSweep(
       DataType::kAntiCorrelated, opts,
       "Table 2: mean dominance test numbers, AC, dimensionality sweep",
-      "Table 3: elapsed time (ms), AC, dimensionality sweep");
-  return 0;
+      "Table 3: elapsed time (ms), AC, dimensionality sweep",
+      &report);
+  return bench::FinishJson(opts, report);
 }

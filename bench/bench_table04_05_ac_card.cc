@@ -6,9 +6,11 @@ int main(int argc, char** argv) {
   using namespace skyline;
   BenchOptions opts = BenchOptions::Parse(argc, argv);
   bench::PrintScaleBanner(opts, "Tables 4/5: AC data, cardinality sweep");
+  JsonReport report("bench_table04_05_ac_card");
   bench::RunCardinalitySweep(
       DataType::kAntiCorrelated, opts,
       "Table 4: mean dominance test numbers, 8-D AC, cardinality sweep",
-      "Table 5: elapsed time (ms), 8-D AC, cardinality sweep");
-  return 0;
+      "Table 5: elapsed time (ms), 8-D AC, cardinality sweep",
+      &report);
+  return bench::FinishJson(opts, report);
 }

@@ -6,9 +6,11 @@ int main(int argc, char** argv) {
   using namespace skyline;
   BenchOptions opts = BenchOptions::Parse(argc, argv);
   bench::PrintScaleBanner(opts, "Tables 6/7: CO data, dimensionality sweep");
+  JsonReport report("bench_table06_07_co_dim");
   bench::RunDimensionSweep(
       DataType::kCorrelated, opts,
       "Table 6: mean dominance test numbers, CO, dimensionality sweep",
-      "Table 7: elapsed time (ms), CO, dimensionality sweep");
-  return 0;
+      "Table 7: elapsed time (ms), CO, dimensionality sweep",
+      &report);
+  return bench::FinishJson(opts, report);
 }

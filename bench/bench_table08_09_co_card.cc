@@ -6,9 +6,11 @@ int main(int argc, char** argv) {
   using namespace skyline;
   BenchOptions opts = BenchOptions::Parse(argc, argv);
   bench::PrintScaleBanner(opts, "Tables 8/9: CO data, cardinality sweep");
+  JsonReport report("bench_table08_09_co_card");
   bench::RunCardinalitySweep(
       DataType::kCorrelated, opts,
       "Table 8: mean dominance test numbers, 8-D CO, cardinality sweep",
-      "Table 9: elapsed time (ms), 8-D CO, cardinality sweep");
-  return 0;
+      "Table 9: elapsed time (ms), 8-D CO, cardinality sweep",
+      &report);
+  return bench::FinishJson(opts, report);
 }

@@ -6,9 +6,11 @@ int main(int argc, char** argv) {
   using namespace skyline;
   BenchOptions opts = BenchOptions::Parse(argc, argv);
   bench::PrintScaleBanner(opts, "Tables 10/11: UI data, dimensionality sweep");
+  JsonReport report("bench_table10_11_ui_dim");
   bench::RunDimensionSweep(
       DataType::kUniformIndependent, opts,
       "Table 10: mean dominance test numbers, UI, dimensionality sweep",
-      "Table 11: elapsed time (ms), UI, dimensionality sweep");
-  return 0;
+      "Table 11: elapsed time (ms), UI, dimensionality sweep",
+      &report);
+  return bench::FinishJson(opts, report);
 }

@@ -6,9 +6,11 @@ int main(int argc, char** argv) {
   using namespace skyline;
   BenchOptions opts = BenchOptions::Parse(argc, argv);
   bench::PrintScaleBanner(opts, "Tables 12/13: UI data, cardinality sweep");
+  JsonReport report("bench_table12_13_ui_card");
   bench::RunCardinalitySweep(
       DataType::kUniformIndependent, opts,
       "Table 12: mean dominance test numbers, 8-D UI, cardinality sweep",
-      "Table 13: elapsed time (ms), 8-D UI, cardinality sweep");
-  return 0;
+      "Table 13: elapsed time (ms), 8-D UI, cardinality sweep",
+      &report);
+  return bench::FinishJson(opts, report);
 }

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Perf gate: compare BENCH_*.json reports against checked-in baselines.
+
+Records are joined on (bench, scenario, algorithm). Two checks per pair:
+
+  * dt_per_point — the mean dominance-test count. Deterministic given
+    the scenario seed, so it is the HARD gate: a regression beyond
+    --dt-tolerance (default 30%) fails, as does a record present in the
+    baseline but missing from the current report (coverage loss).
+    Improvements beyond the tolerance are reported as a reminder to
+    refresh the baseline, but do not fail.
+  * rt_ms — wall time. Shared CI runners are noisy, so RT is ADVISORY
+    only: regressions beyond --rt-tolerance (default 75%) are printed
+    as warnings and never fail the gate.
+
+A missing baseline file is skipped cleanly (exit 0 with a note), so the
+gate can land before its first baseline does.
+
+Usage:
+  scripts/check_perf.py                       # default pairs (repo root
+                                              # vs bench/baselines/)
+  scripts/check_perf.py CURRENT BASELINE      # one explicit pair
+  scripts/check_perf.py --dt-tolerance 0.3 --rt-tolerance 0.75 [pairs...]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_PAIRS = [
+    ("BENCH_kernels.json", "bench/baselines/BENCH_kernels.json"),
+    ("BENCH_subset.json", "bench/baselines/BENCH_subset.json"),
+]
+
+
+def load_records(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')}")
+    out = {}
+    for rec in doc["records"]:
+        key = (rec["bench"], rec["scenario"], rec["algorithm"])
+        if key in out:
+            sys.exit(f"{path}: duplicate record {key}")
+        out[key] = rec
+    return out
+
+
+def check_pair(current_path, baseline_path, dt_tol, rt_tol):
+    """Returns (hard_failures, advisories) for one current/baseline pair."""
+    if not os.path.exists(baseline_path):
+        print(f"[skip] no baseline at {baseline_path} — nothing to gate")
+        return 0, 0
+    if not os.path.exists(current_path):
+        print(f"[FAIL] {current_path} missing — bench suite did not run?")
+        return 1, 0
+
+    current = load_records(current_path)
+    baseline = load_records(baseline_path)
+    failures = 0
+    advisories = 0
+
+    for key, base in sorted(baseline.items()):
+        label = "/".join(key)
+        cur = current.get(key)
+        if cur is None:
+            print(f"[FAIL] {label}: record missing from {current_path} "
+                  "(coverage loss)")
+            failures += 1
+            continue
+
+        # Scenario identity: DT is only comparable on identical inputs.
+        for field in ("n", "d", "seed", "runs"):
+            if cur[field] != base[field]:
+                print(f"[FAIL] {label}: {field} changed "
+                      f"({base[field]} -> {cur[field]}); refresh the baseline "
+                      "instead of comparing different scenarios")
+                failures += 1
+                break
+        else:
+            base_dt, cur_dt = base["dt_per_point"], cur["dt_per_point"]
+            if base_dt > 0 and cur_dt > base_dt * (1 + dt_tol):
+                print(f"[FAIL] {label}: dt_per_point {base_dt:.2f} -> "
+                      f"{cur_dt:.2f} (+{(cur_dt / base_dt - 1) * 100:.1f}% "
+                      f"> {dt_tol * 100:.0f}%)")
+                failures += 1
+            elif base_dt > 0 and cur_dt < base_dt * (1 - dt_tol):
+                print(f"[note] {label}: dt_per_point improved {base_dt:.2f} "
+                      f"-> {cur_dt:.2f}; consider refreshing the baseline")
+
+            base_rt, cur_rt = base["rt_ms"], cur["rt_ms"]
+            if base_rt > 0 and cur_rt > base_rt * (1 + rt_tol):
+                print(f"[warn] {label}: rt_ms {base_rt:.3f} -> {cur_rt:.3f} "
+                      f"(+{(cur_rt / base_rt - 1) * 100:.1f}%) — advisory "
+                      "only (runner noise)")
+                advisories += 1
+
+            if cur["skyline_size"] != base["skyline_size"]:
+                print(f"[FAIL] {label}: skyline_size changed "
+                      f"{base['skyline_size']} -> {cur['skyline_size']} "
+                      "(correctness, not perf)")
+                failures += 1
+
+    print(f"[done] {current_path} vs {baseline_path}: "
+          f"{len(baseline)} baseline records, {failures} failures, "
+          f"{advisories} RT advisories")
+    return failures, advisories
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dt-tolerance", type=float, default=0.30,
+                        help="hard-gate tolerance on dt_per_point")
+    parser.add_argument("--rt-tolerance", type=float, default=0.75,
+                        help="advisory tolerance on rt_ms")
+    parser.add_argument("files", nargs="*",
+                        help="CURRENT BASELINE pairs; default: "
+                             + ", ".join("/".join(p) for p in DEFAULT_PAIRS))
+    args = parser.parse_args()
+
+    if args.files and len(args.files) % 2 != 0:
+        parser.error("files must come in CURRENT BASELINE pairs")
+    pairs = (list(zip(args.files[::2], args.files[1::2]))
+             if args.files else DEFAULT_PAIRS)
+
+    total_failures = 0
+    for current, base in pairs:
+        failures, _ = check_pair(current, base, args.dt_tolerance,
+                                 args.rt_tolerance)
+        total_failures += failures
+
+    if total_failures:
+        print(f"PERF GATE FAILED: {total_failures} hard failure(s)")
+        return 1
+    print("perf gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Standardized perf scenario set: runs the kernel microbench and the
+# subset-suite bench on the fixed UI/CO/AC scenarios (seed 42) and
+# writes the machine-readable reports
+#
+#   BENCH_kernels.json   (bench_kernels)
+#   BENCH_subset.json    (bench_subset_suite)
+#
+# to the output directory (default: repo root), so the perf trajectory
+# is diffable PR-over-PR. CI (the perf-smoke job) runs this with
+# --quick and gates the result via scripts/check_perf.py against
+# bench/baselines/*.json.
+#
+# Usage: scripts/run_bench_suite.sh [--quick] [--full]
+#                                   [--build-dir DIR] [--out-dir DIR]
+#   --quick      smallest standardized scale (the CI + baseline scale)
+#   --full       paper scale (hours; never gated)
+#   --build-dir  CMake binary dir holding bench/ (default: build);
+#                configured + built on demand if the binaries are absent
+#   --out-dir    where to write BENCH_*.json (default: repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE=""
+BUILD_DIR=build
+OUT_DIR=.
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) SCALE="--quick" ;;
+    --full) SCALE="--full" ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    --out-dir) OUT_DIR="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ ! -x "$BUILD_DIR/bench/bench_kernels" ] ||
+   [ ! -x "$BUILD_DIR/bench/bench_subset_suite" ]; then
+  echo "==== bench binaries missing, building ($BUILD_DIR, Release) ===="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target bench_kernels bench_subset_suite
+fi
+
+mkdir -p "$OUT_DIR"
+
+echo "==== bench_kernels ${SCALE:-(reduced)} ===="
+"$BUILD_DIR/bench/bench_kernels" $SCALE --json="$OUT_DIR/BENCH_kernels.json"
+
+echo "==== bench_subset_suite ${SCALE:-(reduced)} ===="
+"$BUILD_DIR/bench/bench_subset_suite" $SCALE \
+  --json="$OUT_DIR/BENCH_subset.json"
+
+echo "Wrote $OUT_DIR/BENCH_kernels.json and $OUT_DIR/BENCH_subset.json"

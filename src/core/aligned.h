@@ -1,0 +1,61 @@
+// Cache-line-aligned allocation support for the hot-loop storage layer.
+//
+// The vectorized dominance kernels (src/core/kernels.h) want rows that
+// start on a 64-byte boundary so the compiler can emit aligned vector
+// loads and never splits a row across more cache lines than necessary.
+// AlignedAllocator is a minimal C++17-style allocator usable with
+// std::vector; kAlignment is chosen to cover AVX-512 (64 bytes), which
+// also satisfies SSE/AVX2/NEON alignment.
+#ifndef SKYLINE_CORE_ALIGNED_H_
+#define SKYLINE_CORE_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace skyline {
+
+/// Alignment (bytes) of the padded row storage: one cache line, which is
+/// also the widest vector register in common use (AVX-512).
+inline constexpr std::size_t kRowAlignment = 64;
+
+/// Minimal aligned allocator for std::vector<Value>.
+template <typename T, std::size_t Alignment = kRowAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not pow2");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_ALIGNED_H_

@@ -1,0 +1,47 @@
+#include "src/core/aligned_dataset.h"
+
+#include <algorithm>
+
+namespace skyline {
+
+namespace {
+
+std::size_t PaddedStride(Dim num_dims) {
+  constexpr std::size_t kValuesPerLine = kRowAlignment / sizeof(Value);
+  const std::size_t d = num_dims;
+  return (d + kValuesPerLine - 1) / kValuesPerLine * kValuesPerLine;
+}
+
+}  // namespace
+
+AlignedDataset::AlignedDataset(const Dataset& data)
+    : num_dims_(data.num_dims()),
+      stride_(PaddedStride(data.num_dims())),
+      num_rows_(data.num_points()),
+      values_(num_rows_ * stride_, Value{0}) {
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const Value* src = data.row(static_cast<PointId>(i));
+    std::copy(src, src + num_dims_, values_.data() + i * stride_);
+  }
+}
+
+AlignedDataset::AlignedDataset(const Dataset& data,
+                               std::span<const PointId> ids)
+    : num_dims_(data.num_dims()),
+      stride_(PaddedStride(data.num_dims())),
+      num_rows_(ids.size()),
+      values_(num_rows_ * stride_, Value{0}) {
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const Value* src = data.row(ids[i]);
+    std::copy(src, src + num_dims_, values_.data() + i * stride_);
+  }
+}
+
+void AlignedDataset::FillPaddingForTesting(Value v) {
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    Value* row = values_.data() + i * stride_;
+    std::fill(row + num_dims_, row + stride_, v);
+  }
+}
+
+}  // namespace skyline

@@ -1,0 +1,81 @@
+// AlignedDataset: the padded, cache-line-aligned storage variant of
+// Dataset used by the vectorized dominance kernels (src/core/kernels.h).
+//
+// Dataset keeps rows packed (stride == num_dims) because it is the
+// user-facing, append-friendly container. The kernels instead want:
+//
+//   * every row starting on a 64-byte boundary (aligned vector loads),
+//   * a power-of-two-friendly stride (no cross-row dependence when the
+//     compiler unrolls across the tail), and
+//   * an accessor without bounds checks on the hot path.
+//
+// AlignedDataset is built by copying rows out of a Dataset — either all
+// of them or a gathered subset — into storage whose stride is num_dims
+// rounded up to a full cache line. The padding tail of each row is
+// zero-filled but, by contract, NEVER read by any kernel: all kernels
+// loop over exactly num_dims() values, which the differential tests
+// verify by poisoning the tail (FillPaddingForTesting) and re-checking
+// results. Values are bit-identical copies, so any computation routed
+// through an AlignedDataset produces exactly the results of the same
+// computation on the source Dataset rows.
+//
+// Accessor contract: `row(i)` is checked under SKYLINE_ASSERT (active in
+// Debug and SKYLINE_CHECKS builds, free in plain Release);
+// `row_unchecked(i)` is never checked and exists for kernel interiors
+// that have already validated their index block once up front.
+#ifndef SKYLINE_CORE_ALIGNED_DATASET_H_
+#define SKYLINE_CORE_ALIGNED_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/core/aligned.h"
+#include "src/core/contracts.h"
+#include "src/core/dataset.h"
+#include "src/core/types.h"
+
+namespace skyline {
+
+class AlignedDataset {
+ public:
+  /// Copies every row of `data` (row i here == point i of `data`).
+  explicit AlignedDataset(const Dataset& data);
+
+  /// Gathers the rows named by `ids` (row i here == data.row(ids[i])).
+  /// Used by the Merge pass to turn a scattered partition into a dense
+  /// block that is scanned sequentially.
+  AlignedDataset(const Dataset& data, std::span<const PointId> ids);
+
+  std::size_t num_rows() const { return num_rows_; }
+  Dim num_dims() const { return num_dims_; }
+
+  /// Row stride in Values: num_dims rounded up to a whole cache line.
+  std::size_t stride() const { return stride_; }
+
+  /// Checked row accessor (free in Release without SKYLINE_CHECKS).
+  const Value* row(std::size_t i) const {
+    SKYLINE_ASSERT(i < num_rows_, "AlignedDataset::row: index out of range");
+    return row_unchecked(i);
+  }
+
+  /// Unchecked row accessor for kernel interiors; the caller must have
+  /// established i < num_rows().
+  const Value* row_unchecked(std::size_t i) const {
+    return values_.data() + i * stride_;
+  }
+
+  /// Overwrites every padding slot (columns num_dims..stride-1 of every
+  /// row) with `v`. Test-only: proves the kernels never read the tail.
+  void FillPaddingForTesting(Value v);
+
+ private:
+  Dim num_dims_;
+  std::size_t stride_;
+  std::size_t num_rows_;
+  std::vector<Value, AlignedAllocator<Value>> values_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_ALIGNED_DATASET_H_

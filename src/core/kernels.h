@@ -1,0 +1,241 @@
+// Vectorized dominance kernels: branch-light, auto-vectorization-friendly
+// implementations of the pairwise tests of src/core/dominance.h, plus the
+// batched one-vs-many forms the subset algorithms actually execute.
+//
+// Two rules make these loops vectorizable where the scalar reference
+// versions are not:
+//
+//   1. No data-dependent early exit inside the d-loop. The scalar
+//      `Dominates` returns at the first dimension where a[i] > b[i];
+//      these kernels accumulate "worse"/"better" flags (or mask bits)
+//      across all d dimensions with `|=` and decide once at the end.
+//      For the short rows of the paper's workloads (d <= 24) the exit
+//      saves little and the dependence-free form lets the compiler use
+//      SIMD compares across the row.
+//   2. Restrict-qualified pointers into padded, 64-byte-aligned rows
+//      (AlignedDataset), so rows never alias and loads are aligned.
+//
+// Semantics contract: every kernel returns bit-identical results to its
+// scalar reference on the same inputs — same booleans, same Subspace
+// bits, same iteration order and early-exit points in the batched forms.
+// The batched forms additionally report `scanned`, the number of pivots
+// a scalar early-exit loop would have charged to the dominance-test
+// counter; DominanceTester and the Merge pass add exactly that, so DT
+// statistics stay comparable to the paper no matter which path ran.
+// tests/core/kernel_differential_test.cc enforces both properties.
+//
+// Kernels read exactly num_dims values per row: the padding tail of an
+// AlignedDataset row is never loaded (the differential tests poison it).
+#ifndef SKYLINE_CORE_KERNELS_H_
+#define SKYLINE_CORE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/core/aligned_dataset.h"
+#include "src/core/contracts.h"
+#include "src/core/subspace.h"
+#include "src/core/types.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SKYLINE_RESTRICT __restrict__
+#else
+#define SKYLINE_RESTRICT
+#endif
+
+namespace skyline {
+
+/// Full classification of an ordered pair of points.
+enum class DominanceRelation {
+  kFirstDominates,   // a < b
+  kSecondDominates,  // b < a
+  kEqual,            // a[i] == b[i] for all i
+  kIncomparable,     // a ~ b (neither dominates)
+};
+
+namespace kernels {
+
+/// Returns true iff a dominates b (Definition 3.1). Flag-accumulating,
+/// no early exit; result identical to skyline::Dominates.
+inline bool Dominates(const Value* SKYLINE_RESTRICT a,
+                      const Value* SKYLINE_RESTRICT b, Dim d) {
+  unsigned worse = 0;
+  unsigned better = 0;
+  for (Dim i = 0; i < d; ++i) {
+    worse |= static_cast<unsigned>(a[i] > b[i]);
+    better |= static_cast<unsigned>(a[i] < b[i]);
+  }
+  return worse == 0 && better != 0;
+}
+
+/// a <= b in every dimension; result identical to
+/// skyline::DominatesOrEqual.
+inline bool DominatesOrEqual(const Value* SKYLINE_RESTRICT a,
+                             const Value* SKYLINE_RESTRICT b, Dim d) {
+  unsigned worse = 0;
+  for (Dim i = 0; i < d; ++i) {
+    worse |= static_cast<unsigned>(a[i] > b[i]);
+  }
+  return worse == 0;
+}
+
+/// One-pass pair classification; result identical to skyline::Compare.
+inline DominanceRelation Compare(const Value* SKYLINE_RESTRICT a,
+                                 const Value* SKYLINE_RESTRICT b, Dim d) {
+  unsigned a_better = 0;
+  unsigned b_better = 0;
+  for (Dim i = 0; i < d; ++i) {
+    a_better |= static_cast<unsigned>(a[i] < b[i]);
+    b_better |= static_cast<unsigned>(b[i] < a[i]);
+  }
+  if (a_better != 0 && b_better != 0) return DominanceRelation::kIncomparable;
+  if (a_better != 0) return DominanceRelation::kFirstDominates;
+  if (b_better != 0) return DominanceRelation::kSecondDominates;
+  return DominanceRelation::kEqual;
+}
+
+/// D_{q<p} (Definition 3.4) as a branch-free mask build; bits identical
+/// to skyline::DominatingSubspace. Requires d <= Subspace::kMaxDims.
+inline Subspace DominatingSubspace(const Value* SKYLINE_RESTRICT q,
+                                   const Value* SKYLINE_RESTRICT p, Dim d) {
+  SKYLINE_ASSERT(d <= Subspace::kMaxDims,
+                 "DominatingSubspace kernel: d exceeds Subspace::kMaxDims");
+  std::uint64_t bits = 0;
+  for (Dim i = 0; i < d; ++i) {
+    bits |= static_cast<std::uint64_t>(q[i] < p[i]) << i;
+  }
+  return Subspace(bits);
+}
+
+/// D_{q<p} plus the q-strictly-worse-somewhere flag in one scan; output
+/// identical to skyline::DominatingSubspaceEx.
+inline Subspace DominatingSubspaceEx(const Value* SKYLINE_RESTRICT q,
+                                     const Value* SKYLINE_RESTRICT p, Dim d,
+                                     bool* q_somewhere_worse) {
+  SKYLINE_ASSERT(d <= Subspace::kMaxDims,
+                 "DominatingSubspaceEx kernel: d exceeds Subspace::kMaxDims");
+  std::uint64_t bits = 0;
+  unsigned worse = 0;
+  for (Dim i = 0; i < d; ++i) {
+    bits |= static_cast<std::uint64_t>(q[i] < p[i]) << i;
+    worse |= static_cast<unsigned>(q[i] > p[i]);
+  }
+  *q_somewhere_worse = worse != 0;
+  return Subspace(bits);
+}
+
+/// "No dominator found" sentinel of the batched probes.
+inline constexpr std::size_t kNoDominator = static_cast<std::size_t>(-1);
+
+/// Result of a one-vs-many probe over a pivot block.
+struct BatchProbeResult {
+  /// Block index (into the id span) of the first dominator, or
+  /// kNoDominator.
+  std::size_t first = kNoDominator;
+
+  /// Dominance tests a scalar early-exit loop would have charged:
+  /// the number of non-skipped pivots up to and including the first
+  /// dominator, or all non-skipped pivots when none dominates.
+  std::uint64_t scanned = 0;
+};
+
+/// Tests candidate row `q_row` against the block of rows named by `ids`
+/// in a single pass, in block order — the retrieval-loop shape of
+/// SFS-Subset / SaLSa-Subset / SDI-Subset ("does any stored skyline
+/// point dominate q?"). Rows equal to `skip` are passed over without
+/// charge, mirroring the `cand == p` guard of the cross-filter loops.
+inline BatchProbeResult DominatesAny(const AlignedDataset& rows,
+                                     std::span<const PointId> ids,
+                                     const Value* q_row, Dim d,
+                                     PointId skip = kInvalidPoint) {
+  if constexpr (kSkylineAsserts) {
+    for (PointId id : ids) {
+      SKYLINE_ASSERT(id < rows.num_rows(), "DominatesAny: id out of range");
+    }
+  }
+  BatchProbeResult r;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == skip) continue;
+    ++r.scanned;
+    if (Dominates(rows.row_unchecked(ids[i]), q_row, d)) {
+      r.first = i;
+      return r;
+    }
+  }
+  return r;
+}
+
+/// Result of folding D_{q<p} over a pivot block.
+struct BatchSubspaceResult {
+  /// Union of D_{q<p} over every pivot scanned before the exit point.
+  Subspace mask;
+
+  /// Block index of the first pivot that weakly dominates q while being
+  /// strictly better somewhere (i.e. q is eliminated), or kNoDominator.
+  std::size_t dominated_by = kNoDominator;
+
+  /// Pivots charged, with the same early-exit semantics as a scalar
+  /// fold: everything up to and including `dominated_by`, or all
+  /// non-skipped pivots.
+  std::uint64_t scanned = 0;
+};
+
+/// Folds the dominating subspace of candidate `q_row` over the pivot
+/// block `ids` in one pass — the mask re-base shape of the parallel
+/// subset engine and the Merge postcondition. A pivot with empty
+/// D_{q<p} that is strictly better somewhere eliminates q and stops the
+/// scan; an exact duplicate of q contributes nothing and the scan
+/// continues, exactly like the scalar loops.
+inline BatchSubspaceResult DominatingSubspaceBatch(
+    const AlignedDataset& rows, std::span<const PointId> ids,
+    const Value* q_row, Dim d, PointId skip = kInvalidPoint) {
+  if constexpr (kSkylineAsserts) {
+    for (PointId id : ids) {
+      SKYLINE_ASSERT(id < rows.num_rows(),
+                     "DominatingSubspaceBatch: id out of range");
+    }
+  }
+  BatchSubspaceResult r;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == skip) continue;
+    ++r.scanned;
+    bool q_worse = false;
+    const Subspace m =
+        DominatingSubspaceEx(q_row, rows.row_unchecked(ids[i]), d, &q_worse);
+    if (m.empty() && q_worse) {
+      r.dominated_by = i;
+      return r;
+    }
+    r.mask |= m;
+  }
+  return r;
+}
+
+/// The Merge inner-loop shape: D_{q<pivot} plus the q-somewhere-worse
+/// flag for a dense block of rows against one pivot row, one output pair
+/// per input row. No early exit — every active point must learn its mask
+/// — so the charge is exactly row_ids.size() tests.
+inline void DominatingSubspaceExBatch(const AlignedDataset& rows,
+                                      std::span<const std::uint32_t> row_ids,
+                                      const Value* pivot_row, Dim d,
+                                      Subspace* out_masks,
+                                      std::uint8_t* out_worse) {
+  if constexpr (kSkylineAsserts) {
+    for (std::uint32_t r : row_ids) {
+      SKYLINE_ASSERT(r < rows.num_rows(),
+                     "DominatingSubspaceExBatch: row out of range");
+    }
+  }
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    bool worse = false;
+    out_masks[i] = DominatingSubspaceEx(rows.row_unchecked(row_ids[i]),
+                                        pivot_row, d, &worse);
+    out_worse[i] = worse ? 1 : 0;
+  }
+}
+
+}  // namespace kernels
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_KERNELS_H_

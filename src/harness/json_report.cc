@@ -1,0 +1,102 @@
+#include "src/harness/json_report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace skyline {
+
+namespace {
+
+/// Escapes the characters JSON strings cannot hold verbatim. Bench and
+/// algorithm names are plain ASCII identifiers, but the scenario labels
+/// are caller-provided, so escape defensively.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest-round-trip double rendering (%.17g preserves every bit; the
+/// DT gate needs exact values to survive the JSON round trip).
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void JsonReport::Add(BenchRecord record) {
+  if (record.bench.empty()) record.bench = bench_;
+  records_.push_back(std::move(record));
+}
+
+std::string JsonReport::ToJson() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
+  out += "  \"bench\": \"" + Escape(bench_) + "\",\n";
+  out += "  \"records\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    out += "    {";
+    out += "\"bench\": \"" + Escape(r.bench) + "\", ";
+    out += "\"scenario\": \"" + Escape(r.scenario) + "\", ";
+    out += "\"algorithm\": \"" + Escape(r.algorithm) + "\", ";
+    out += "\"n\": " + std::to_string(r.n) + ", ";
+    out += "\"d\": " + std::to_string(r.d) + ", ";
+    out += "\"seed\": " + std::to_string(r.seed) + ", ";
+    out += "\"runs\": " + std::to_string(r.runs) + ", ";
+    out += "\"dt_per_point\": " + Num(r.dt_per_point) + ", ";
+    out += "\"rt_ms\": " + Num(r.rt_ms) + ", ";
+    out += "\"skyline_size\": " + std::to_string(r.skyline_size);
+    out += i + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool JsonReport::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "JsonReport: cannot open " << path << " for writing\n";
+    return false;
+  }
+  f << ToJson();
+  f.close();
+  if (!f) {
+    std::cerr << "JsonReport: write to " << path << " failed\n";
+    return false;
+  }
+  std::cerr << "  [json] wrote " << records_.size() << " records to " << path
+            << "\n";
+  return true;
+}
+
+}  // namespace skyline

@@ -1,0 +1,79 @@
+// Machine-readable benchmark reporting: every bench binary can append
+// its measurements to a JsonReport and write them with `--json <path>`,
+// making the perf trajectory diffable PR-over-PR and gateable in CI
+// (scripts/check_perf.py compares against bench/baselines/*.json).
+//
+// Schema (version 1), one object per file:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<binary name>",
+//     "records": [
+//       {
+//         "bench": "<binary name>",
+//         "scenario": "<dataset label, e.g. UI-d8-n4000-s42>",
+//         "algorithm": "<algorithm or kernel name>",
+//         "n": <cardinality>, "d": <dimensionality>,
+//         "seed": <dataset seed>, "runs": <timed runs>,
+//         "dt_per_point": <mean dominance tests per point — deterministic,
+//                          the CI hard gate>,
+//         "rt_ms": <mean wall time per run in ms — advisory, noisy>,
+//         "skyline_size": <result size, 0 for micro-kernels>
+//       }, ...
+//     ]
+//   }
+//
+// (bench, scenario, algorithm) identifies a record; scripts/check_perf.py
+// joins current and baseline files on that key.
+#ifndef SKYLINE_HARNESS_JSON_REPORT_H_
+#define SKYLINE_HARNESS_JSON_REPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skyline {
+
+/// One measurement row of the JSON schema above.
+struct BenchRecord {
+  std::string bench;
+  std::string scenario;
+  std::string algorithm;
+  std::size_t n = 0;
+  unsigned d = 0;
+  std::uint64_t seed = 0;
+  int runs = 0;
+  double dt_per_point = 0;
+  double rt_ms = 0;
+  std::size_t skyline_size = 0;
+};
+
+/// Collects BenchRecords and serializes them as schema-version-1 JSON.
+class JsonReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Appends a record; an empty `record.bench` inherits the report name.
+  void Add(BenchRecord record);
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+  const std::string& bench() const { return bench_; }
+
+  /// Serializes the report (pretty-printed, stable field order).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; returns false (with a stderr note) on
+  /// I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_HARNESS_JSON_REPORT_H_

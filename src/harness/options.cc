@@ -18,10 +18,14 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       opts.full = true;
     } else if (arg == "--reduced") {
       opts.full = false;
+    } else if (arg == "--quick") {
+      opts.quick = true;
     } else if (arg.rfind("--runs=", 0) == 0) {
       opts.runs = std::atoi(arg.data() + 7);
     } else if (arg.rfind("--seed=", 0) == 0) {
       opts.seed = std::strtoull(arg.data() + 7, nullptr, 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opts.json_path = std::string(arg.substr(7));
     }
   }
   return opts;

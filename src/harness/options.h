@@ -9,6 +9,7 @@
 #define SKYLINE_HARNESS_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace skyline {
@@ -18,14 +19,23 @@ struct BenchOptions {
   /// Paper-scale run (otherwise reduced CI scale).
   bool full = false;
 
+  /// Extra-small scale for the standardized CI perf suite
+  /// (scripts/run_bench_suite.sh --quick); ignored when `full` is set.
+  bool quick = false;
+
   /// Timed runs per measurement; 0 = pick by scale (3 reduced, 10 full).
   int runs = 0;
 
   /// Seed for synthetic datasets.
   std::uint64_t seed = 42;
 
-  /// Parses --full, --runs=N, --seed=N and the SKYLINE_FULL env var.
-  /// Unknown arguments are ignored (so binaries can add their own).
+  /// Where to write the machine-readable JSON report
+  /// (src/harness/json_report.h); empty = no JSON output.
+  std::string json_path;
+
+  /// Parses --full, --quick, --runs=N, --seed=N, --json=PATH and the
+  /// SKYLINE_FULL env var. Unknown arguments are ignored (so binaries
+  /// can add their own).
   static BenchOptions Parse(int argc, char** argv);
 
   /// Effective number of timed runs.

@@ -4,8 +4,10 @@
 #include <numeric>
 #include <utility>
 
+#include "src/core/aligned_dataset.h"
 #include "src/core/contracts.h"
 #include "src/core/dominance.h"
+#include "src/core/kernels.h"
 #include "src/core/scores.h"
 #include "src/parallel/work_partitioner.h"
 #include "src/subset/merge.h"
@@ -45,6 +47,11 @@ std::vector<PointId> ParallelSubsetSfs::Compute(const Dataset& data,
   const Dim d = data.num_dims();
   if (stats != nullptr) *stats = SkylineStats{};
   if (n == 0) return {};
+
+  // One shared, padded, cache-line-aligned copy of the rows: every
+  // cross-partition probe below runs the vectorized kernels over it.
+  // Read-only after construction, so all workers share it freely.
+  const AlignedDataset aligned(data);
 
   const std::size_t num_parts =
       partitions_ > 0 ? partitions_ : DeterministicPartitionCount(n);
@@ -96,14 +103,10 @@ std::vector<PointId> ParallelSubsetSfs::Compute(const Dataset& data,
       index.Query(mask, &candidates, &s.index_nodes_visited);
       ++s.index_queries;
       s.index_candidates += candidates.size();
-      bool dominated = false;
-      for (PointId sk : candidates) {
-        ++s.dominance_tests;
-        if (Dominates(data.row(sk), data.row(q), d)) {
-          dominated = true;
-          break;
-        }
-      }
+      const kernels::BatchProbeResult probe =
+          kernels::DominatesAny(aligned, candidates, aligned.row(q), d);
+      s.dominance_tests += probe.scanned;
+      const bool dominated = probe.first != kernels::kNoDominator;
       if (!dominated) {
         local.accepted.push_back(q);
         local.accepted_masks.push_back(mask);
@@ -147,19 +150,20 @@ std::vector<PointId> ParallelSubsetSfs::Compute(const Dataset& data,
     out.masks.reserve(out.members.capacity());
 
     auto rebase = [&](PointId p, Subspace base, bool include_own_pivots) {
-      const Value* row = data.row(p);
+      const Value* row = aligned.row(p);
       Subspace gmask = base;
       for (std::size_t o = 0; o < num_parts; ++o) {
         if (o == t && !include_own_pivots) continue;
-        for (PointId v : locals[o].pivots) {
-          if (v == p) continue;
-          bool p_worse = false;
-          const Subspace m =
-              DominatingSubspaceEx(row, data.row(v), d, &p_worse);
-          ++s.dominance_tests;
-          if (m.empty() && p_worse) return;  // a pivot dominates p
-          gmask |= m;
+        // One batched fold per foreign pivot block; `skip` reproduces
+        // the v == p guard without charging a test for it.
+        const kernels::BatchSubspaceResult fold =
+            kernels::DominatingSubspaceBatch(aligned, locals[o].pivots, row,
+                                             d, /*skip=*/p);
+        s.dominance_tests += fold.scanned;
+        if (fold.dominated_by != kernels::kNoDominator) {
+          return;  // a pivot dominates p
         }
+        gmask |= fold.mask;
       }
       out.members.push_back(p);
       out.masks.push_back(gmask);
@@ -201,16 +205,10 @@ std::vector<PointId> ParallelSubsetSfs::Compute(const Dataset& data,
       global_index.Query(mine.masks[i], &candidates, &s.index_nodes_visited);
       ++s.index_queries;
       s.index_candidates += candidates.size();
-      bool dominated = false;
-      for (PointId cand : candidates) {
-        if (cand == p) continue;
-        ++s.dominance_tests;
-        if (Dominates(data.row(cand), data.row(p), d)) {
-          dominated = true;
-          break;
-        }
-      }
-      if (!dominated) surviving[t].push_back(p);
+      const kernels::BatchProbeResult probe = kernels::DominatesAny(
+          aligned, candidates, aligned.row(p), d, /*skip=*/p);
+      s.dominance_tests += probe.scanned;
+      if (probe.first == kernels::kNoDominator) surviving[t].push_back(p);
     }
     cross_stats.slot(t) = s;
   });

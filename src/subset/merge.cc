@@ -4,8 +4,10 @@
 #include <limits>
 #include <numeric>
 
+#include "src/core/aligned_dataset.h"
 #include "src/core/contracts.h"
 #include "src/core/dominance.h"
+#include "src/core/kernels.h"
 #include "src/core/scores.h"
 
 namespace skyline {
@@ -29,6 +31,13 @@ MergeResult MergeSubspacesOver(const Dataset& data,
     }
   }
 
+  // Gather the (possibly scattered) partition into a dense, padded,
+  // cache-line-aligned block: every inner-loop scan below runs the
+  // vectorized kernels over this block instead of chasing rows of the
+  // source Dataset. The copies are bit-identical, so results and counts
+  // match the scalar path exactly.
+  const AlignedDataset block(data, ids);
+
   // Line 1: score each point by (squared) Euclidean distance to the
   // corner of per-dimension minima. Squaring preserves the order and
   // avoids the sqrt; anchoring at the minima corner instead of the
@@ -39,8 +48,8 @@ MergeResult MergeSubspacesOver(const Dataset& data,
   // anchor is the minima corner of the `ids` subset — monotonicity is
   // only ever needed among the points the pass actually sees.
   std::vector<Value> lo(d, std::numeric_limits<Value>::infinity());
-  for (PointId id : ids) {
-    const Value* row = data.row(id);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value* row = block.row_unchecked(i);
     for (Dim k = 0; k < d; ++k) {
       if (row[k] < lo[k]) lo[k] = row[k];
     }
@@ -48,22 +57,28 @@ MergeResult MergeSubspacesOver(const Dataset& data,
 
   struct Active {
     PointId id;
+    std::uint32_t row;  // row index in `block`
     Value score;
     Subspace mask;  // maximum dominating subspace so far
   };
   std::vector<Active> active(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const Value* row = data.row(ids[i]);
+    const Value* row = block.row_unchecked(i);
     Value s = 0;
     for (Dim k = 0; k < d; ++k) {
       const Value v = row[k] - lo[k];
       s += v * v;
     }
-    active[i] = {ids[i], s, Subspace{}};
+    active[i] = {ids[i], static_cast<std::uint32_t>(i), s, Subspace{}};
   }
 
   // Histogram of subspace sizes (bins 1..d) after the previous iteration.
   std::vector<std::size_t> prev_hist(d + 1, 0);
+
+  // Scratch for the batched per-pivot scan (reused across iterations).
+  std::vector<std::uint32_t> scan_rows;
+  std::vector<Subspace> scan_masks;
+  std::vector<std::uint8_t> scan_worse;
 
   int stability = 0;
   while (stability < sigma) {
@@ -77,7 +92,7 @@ MergeResult MergeSubspacesOver(const Dataset& data,
       if (active[i].score < active[best].score) best = i;
     }
     const PointId pivot = active[best].id;
-    const Value* pivot_row = data.row(pivot);
+    const Value* pivot_row = block.row_unchecked(active[best].row);
     out.pivots.push_back(pivot);
     // The pivot leaves the active set: discount it from the previous
     // histogram so that its departure alone does not read as instability
@@ -89,14 +104,25 @@ MergeResult MergeSubspacesOver(const Dataset& data,
     active.erase(active.begin() + best);
     ++out.iterations;
 
-    // Lines 11-18: compare the pivot with every active point.
+    // Lines 11-18: compare the pivot with every active point. The mask
+    // computation is one batched kernel pass over the whole active set
+    // (charged one test per point, same as the scalar per-point loop);
+    // the prune/compact decisions then consume the scratch results.
+    scan_rows.resize(active.size());
+    scan_masks.resize(active.size());
+    scan_worse.resize(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      scan_rows[i] = active[i].row;
+    }
+    kernels::DominatingSubspaceExBatch(block, scan_rows, pivot_row, d,
+                                       scan_masks.data(), scan_worse.data());
+    out.dominance_tests += active.size();
+
     std::size_t keep = 0;
     for (std::size_t i = 0; i < active.size(); ++i) {
       Active& q = active[i];
-      bool q_worse = false;
-      const Subspace mask =
-          DominatingSubspaceEx(data.row(q.id), pivot_row, d, &q_worse);
-      ++out.dominance_tests;
+      const bool q_worse = scan_worse[i] != 0;
+      const Subspace mask = scan_masks[i];
       if (mask.empty()) {
         // The pivot weakly dominates q: prune it, unless it is an exact
         // duplicate of the pivot, which is itself a skyline point.

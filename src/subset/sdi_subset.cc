@@ -96,13 +96,9 @@ std::vector<PointId> SdiSubset::Compute(const Dataset& data,
     index.Query(masks[p], &candidates, &local.index_nodes_visited);
     ++local.index_queries;
     local.index_candidates += candidates.size();
-    bool dominated = false;
-    for (PointId s : candidates) {
-      if (tester.Dominates(s, p)) {
-        dominated = true;
-        break;
-      }
-    }
+    // One batched kernel pass over the candidate block (charges one test
+    // per candidate scanned, early exit at the first dominator).
+    bool dominated = tester.DominatesAny(candidates, p);
     if (!dominated) {
       // Duplicate dimension values: unresolved dominators can share p's
       // dim-k value — SFS-like local tests inside the tie block.

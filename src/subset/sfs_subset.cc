@@ -49,13 +49,9 @@ std::vector<PointId> SfsSubset::Compute(const Dataset& data,
     index.Query(mask, &candidates, &local.index_nodes_visited);
     ++local.index_queries;
     local.index_candidates += candidates.size();
-    bool dominated = false;
-    for (PointId s : candidates) {
-      if (tester.Dominates(s, q)) {
-        dominated = true;
-        break;
-      }
-    }
+    // One batched kernel pass over the candidate block (charges one test
+    // per candidate scanned, early exit at the first dominator).
+    const bool dominated = tester.DominatesAny(candidates, q);
     if (!dominated) {
       result.push_back(q);
       index.Add(q, mask);

@@ -1,0 +1,297 @@
+// Randomized differential tests of the vectorized kernel layer
+// (src/core/kernels.h) against the scalar reference functions of
+// src/core/dominance.h: identical results on ties, duplicate rows,
+// degenerate dimensionalities (d=1, d=64 — the Subspace maximum),
+// padded-tail garbage, and identical dominance-test charges from the
+// batched paths (the DominanceTester counter contract).
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/aligned_dataset.h"
+#include "src/core/dominance.h"
+#include "src/core/kernels.h"
+
+namespace skyline {
+namespace {
+
+/// Random dataset engineered for collisions: values drawn from a coarse
+/// grid (ties in single dimensions), plus every fourth row duplicated
+/// verbatim from an earlier row (full-row ties).
+Dataset TieHeavyDataset(std::size_t n, Dim d, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> grid(0, 3);
+  std::vector<Value> values;
+  values.reserve(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 4 == 3 && i > 0) {
+      const std::size_t copy_of = rng() % i;
+      for (Dim k = 0; k < d; ++k) {
+        values.push_back(values[copy_of * d + k]);
+      }
+    } else {
+      for (Dim k = 0; k < d; ++k) {
+        values.push_back(static_cast<Value>(grid(rng)) / 4);
+      }
+    }
+  }
+  return Dataset(d, std::move(values));
+}
+
+const Dim kDims[] = {1, 2, 3, 8, 13, 24, 64};
+
+TEST(KernelDifferentialTest, PairwiseKernelsAgreeOnTieHeavyData) {
+  for (Dim d : kDims) {
+    const std::size_t n = 48;
+    const Dataset data = TieHeavyDataset(n, d, 1000 + d);
+    const AlignedDataset aligned(data);
+    for (PointId a = 0; a < n; ++a) {
+      for (PointId b = 0; b < n; ++b) {
+        const Value* sa = data.row(a);
+        const Value* sb = data.row(b);
+        const Value* ka = aligned.row(a);
+        const Value* kb = aligned.row(b);
+        EXPECT_EQ(Dominates(sa, sb, d), kernels::Dominates(ka, kb, d))
+            << "d=" << d << " a=" << a << " b=" << b;
+        EXPECT_EQ(DominatesOrEqual(sa, sb, d),
+                  kernels::DominatesOrEqual(ka, kb, d))
+            << "d=" << d << " a=" << a << " b=" << b;
+        EXPECT_EQ(Compare(sa, sb, d), kernels::Compare(ka, kb, d))
+            << "d=" << d << " a=" << a << " b=" << b;
+        EXPECT_EQ(DominatingSubspace(sa, sb, d),
+                  kernels::DominatingSubspace(ka, kb, d))
+            << "d=" << d << " a=" << a << " b=" << b;
+        bool scalar_worse = false;
+        bool kernel_worse = false;
+        EXPECT_EQ(DominatingSubspaceEx(sa, sb, d, &scalar_worse),
+                  kernels::DominatingSubspaceEx(ka, kb, d, &kernel_worse))
+            << "d=" << d << " a=" << a << " b=" << b;
+        EXPECT_EQ(scalar_worse, kernel_worse)
+            << "d=" << d << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, KernelsNeverReadThePaddingTail) {
+  // Poison the padding with the nastiest values available; every kernel
+  // must still agree with the scalar reference over the packed rows.
+  const Value kPoison[] = {std::numeric_limits<Value>::quiet_NaN(),
+                           -std::numeric_limits<Value>::infinity(), -1e300};
+  for (Dim d : {Dim{1}, Dim{3}, Dim{8}, Dim{13}}) {
+    const std::size_t n = 32;
+    const Dataset data = TieHeavyDataset(n, d, 2000 + d);
+    for (Value poison : kPoison) {
+      AlignedDataset aligned(data);
+      aligned.FillPaddingForTesting(poison);
+      for (PointId a = 0; a < n; ++a) {
+        for (PointId b = 0; b < n; ++b) {
+          EXPECT_EQ(Dominates(data.row(a), data.row(b), d),
+                    kernels::Dominates(aligned.row(a), aligned.row(b), d));
+          bool sw = false;
+          bool kw = false;
+          EXPECT_EQ(
+              DominatingSubspaceEx(data.row(a), data.row(b), d, &sw),
+              kernels::DominatingSubspaceEx(aligned.row(a), aligned.row(b), d,
+                                            &kw));
+          EXPECT_EQ(sw, kw);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, AlignedRowsStartOnCacheLines) {
+  for (Dim d : kDims) {
+    const Dataset data = TieHeavyDataset(9, d, 3000 + d);
+    const AlignedDataset aligned(data);
+    EXPECT_EQ(aligned.stride() % (kRowAlignment / sizeof(Value)), 0u);
+    EXPECT_GE(aligned.stride(), d);
+    for (std::size_t i = 0; i < aligned.num_rows(); ++i) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(aligned.row(i)) %
+                    kRowAlignment,
+                0u)
+          << "d=" << d << " row=" << i;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, GatheredBlockMatchesSourceRows) {
+  const Dim d = 7;
+  const Dataset data = TieHeavyDataset(40, d, 99);
+  const std::vector<PointId> ids = {31, 2, 2, 17, 0, 39};  // dups allowed
+  const AlignedDataset block(data, ids);
+  ASSERT_EQ(block.num_rows(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (Dim k = 0; k < d; ++k) {
+      EXPECT_EQ(block.row(i)[k], data.row(ids[i])[k]);
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, DominatesAnyMatchesScalarLoopAndCharge) {
+  std::mt19937_64 rng(4242);
+  for (Dim d : {Dim{1}, Dim{4}, Dim{8}, Dim{24}}) {
+    const std::size_t n = 64;
+    const Dataset data = TieHeavyDataset(n, d, 4000 + d);
+    const AlignedDataset aligned(data);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<PointId> candidates(rng() % 12);
+      for (PointId& c : candidates) c = static_cast<PointId>(rng() % n);
+      const PointId q = static_cast<PointId>(rng() % n);
+      const PointId skip = (trial % 3 == 0) && !candidates.empty()
+                               ? candidates[rng() % candidates.size()]
+                               : kInvalidPoint;
+
+      // Scalar reference: early-exit loop with one charge per pivot
+      // scanned, the contract the batched kernel must reproduce.
+      std::size_t scalar_first = kernels::kNoDominator;
+      std::uint64_t scalar_scanned = 0;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i] == skip) continue;
+        ++scalar_scanned;
+        if (Dominates(data.row(candidates[i]), data.row(q), d)) {
+          scalar_first = i;
+          break;
+        }
+      }
+
+      const kernels::BatchProbeResult r =
+          kernels::DominatesAny(aligned, candidates, aligned.row(q), d, skip);
+      EXPECT_EQ(r.first, scalar_first) << "d=" << d << " trial=" << trial;
+      EXPECT_EQ(r.scanned, scalar_scanned) << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, DominatingSubspaceBatchMatchesScalarFold) {
+  std::mt19937_64 rng(777);
+  for (Dim d : {Dim{1}, Dim{4}, Dim{8}, Dim{24}}) {
+    const std::size_t n = 64;
+    const Dataset data = TieHeavyDataset(n, d, 5000 + d);
+    const AlignedDataset aligned(data);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<PointId> pivots(rng() % 12);
+      for (PointId& p : pivots) p = static_cast<PointId>(rng() % n);
+      const PointId q = static_cast<PointId>(rng() % n);
+      const PointId skip =
+          (trial % 3 == 0) ? static_cast<PointId>(rng() % n) : kInvalidPoint;
+
+      Subspace scalar_mask;
+      std::size_t scalar_dominated_by = kernels::kNoDominator;
+      std::uint64_t scalar_scanned = 0;
+      for (std::size_t i = 0; i < pivots.size(); ++i) {
+        if (pivots[i] == skip) continue;
+        ++scalar_scanned;
+        bool worse = false;
+        const Subspace m =
+            DominatingSubspaceEx(data.row(q), data.row(pivots[i]), d, &worse);
+        if (m.empty() && worse) {
+          scalar_dominated_by = i;
+          break;
+        }
+        scalar_mask |= m;
+      }
+
+      const kernels::BatchSubspaceResult r = kernels::DominatingSubspaceBatch(
+          aligned, pivots, aligned.row(q), d, skip);
+      EXPECT_EQ(r.dominated_by, scalar_dominated_by)
+          << "d=" << d << " trial=" << trial;
+      EXPECT_EQ(r.scanned, scalar_scanned) << "d=" << d << " trial=" << trial;
+      if (r.dominated_by == kernels::kNoDominator) {
+        EXPECT_EQ(r.mask, scalar_mask) << "d=" << d << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, DominatingSubspaceExBatchMatchesPairKernel) {
+  for (Dim d : {Dim{1}, Dim{8}, Dim{64}}) {
+    const std::size_t n = 48;
+    const Dataset data = TieHeavyDataset(n, d, 6000 + d);
+    const AlignedDataset aligned(data);
+    std::vector<std::uint32_t> rows;
+    for (std::uint32_t i = 0; i < n; i += 2) rows.push_back(i);
+    for (PointId pivot = 0; pivot < 8; ++pivot) {
+      std::vector<Subspace> masks(rows.size());
+      std::vector<std::uint8_t> worse(rows.size());
+      kernels::DominatingSubspaceExBatch(aligned, rows, aligned.row(pivot), d,
+                                         masks.data(), worse.data());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        bool scalar_worse = false;
+        const Subspace m = DominatingSubspaceEx(
+            data.row(rows[i]), data.row(pivot), d, &scalar_worse);
+        EXPECT_EQ(masks[i], m) << "d=" << d << " i=" << i;
+        EXPECT_EQ(worse[i] != 0, scalar_worse) << "d=" << d << " i=" << i;
+      }
+    }
+  }
+}
+
+// The DominanceTester counter contract (src/core/dominance.h): one test
+// per pivot actually scanned — a batched DominatesAny call must charge
+// exactly what the equivalent sequence of single-pair calls charges.
+TEST(KernelDifferentialTest, DominanceTesterBatchedChargeEqualsScalarCharge) {
+  std::mt19937_64 rng(31337);
+  const Dim d = 8;
+  const std::size_t n = 96;
+  const Dataset data = TieHeavyDataset(n, d, 7000);
+  DominanceTester batched(data);
+  DominanceTester pairwise(data);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<PointId> candidates(rng() % 16);
+    for (PointId& c : candidates) c = static_cast<PointId>(rng() % n);
+    const PointId q = static_cast<PointId>(rng() % n);
+
+    bool scalar_dominated = false;
+    for (PointId s : candidates) {
+      if (pairwise.Dominates(s, q)) {
+        scalar_dominated = true;
+        break;
+      }
+    }
+    const bool batched_dominated = batched.DominatesAny(candidates, q);
+
+    EXPECT_EQ(batched_dominated, scalar_dominated) << "trial=" << trial;
+    EXPECT_EQ(batched.tests(), pairwise.tests()) << "trial=" << trial;
+  }
+  EXPECT_GT(batched.tests(), 0u);
+}
+
+TEST(KernelDifferentialTest, SingleDimensionAndMaxDimensionEdges) {
+  // d=1: dominance degenerates to <; d=64: every Subspace bit in use.
+  {
+    const Dataset data = Dataset::FromRows({{0.0}, {0.0}, {1.0}});
+    const AlignedDataset aligned(data);
+    EXPECT_FALSE(kernels::Dominates(aligned.row(0), aligned.row(1), 1));
+    EXPECT_TRUE(kernels::Dominates(aligned.row(0), aligned.row(2), 1));
+    EXPECT_EQ(kernels::Compare(aligned.row(0), aligned.row(1), 1),
+              DominanceRelation::kEqual);
+    EXPECT_EQ(kernels::DominatingSubspace(aligned.row(0), aligned.row(2), 1),
+              Subspace({0}));
+  }
+  {
+    const Dim d = 64;
+    std::vector<Value> better(d, 0.0);
+    std::vector<Value> worse(d, 1.0);
+    Dataset data(d);
+    data.Append(better);
+    data.Append(worse);
+    const AlignedDataset aligned(data);
+    EXPECT_TRUE(kernels::Dominates(aligned.row(0), aligned.row(1), d));
+    EXPECT_EQ(kernels::DominatingSubspace(aligned.row(0), aligned.row(1), d),
+              Subspace::Full(d));
+    bool w = false;
+    EXPECT_EQ(
+        kernels::DominatingSubspaceEx(aligned.row(1), aligned.row(0), d, &w),
+        Subspace{});
+    EXPECT_TRUE(w);
+  }
+}
+
+}  // namespace
+}  // namespace skyline
