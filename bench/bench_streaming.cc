@@ -1,0 +1,155 @@
+// Streaming skyline scenario set for the CI perf gate: insert-rate and
+// memory-ceiling metrics for StreamingSkyline across the paper's three
+// data families plus the two adversarial regimes the memory model was
+// built for (dominated-heavy stream, reference drift).
+//
+// Every scenario is verified against the offline sfs-subset skyline of
+// the whole stream before being reported — a result mismatch exits
+// non-zero, so the perf pipeline doubles as an equivalence check.
+//
+// Per scenario the report carries three records (all deterministic given
+// the seed, so all hard-gated by scripts/check_perf.py):
+//
+//   streaming                 dt_per_point = dominance tests / insert
+//   streaming-resident-peak   dt_per_point = peak resident rows (the
+//                             memory ceiling the compactor must hold)
+//   streaming-candidate-ratio dt_per_point = index candidates / insert
+//                             (pruning power; drift shows up here)
+//
+// Usage: bench_streaming [--quick|--full] [--seed=N] [--json=PATH]
+#include <chrono>
+#include <iostream>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/verify.h"
+#include "src/stream/streaming_skyline.h"
+
+namespace {
+
+using namespace skyline;
+
+struct Scenario {
+  std::string label;
+  Dataset data;
+  StreamingOptions options;
+};
+
+Dataset MakeAdversarial(std::size_t n, Dim d, std::uint64_t seed) {
+  // 99% of arrivals in [1.001, 2]^d are dominated by any of the 1% in
+  // [0, 1]^d: the reject path does all the work and dead rows pile up
+  // only from the good points' churn.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Value> bad(1.001, 2.0);
+  std::uniform_real_distribution<Value> good(0.0, 1.0);
+  std::uniform_int_distribution<int> pick(0, 99);
+  std::vector<Value> values;
+  values.reserve(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& dist = pick(rng) == 0 ? good : bad;
+    for (Dim dim = 0; dim < d; ++dim) values.push_back(dist(rng));
+  }
+  return Dataset(d, std::move(values));
+}
+
+Dataset MakeDrift(std::size_t n, Dim d, std::uint64_t seed) {
+  // First quarter far from the origin (bootstrap + references), rest
+  // near it: every late arrival dominates the frozen references, which
+  // collapses all masks and forces the adaptive re-reference.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Value> far(0.5, 1.0);
+  std::uniform_real_distribution<Value> near(0.0, 0.5);
+  const std::size_t phase1 = n / 4;
+  std::vector<Value> values;
+  values.reserve(n * d);
+  for (std::size_t i = 0; i < phase1 * d; ++i) values.push_back(far(rng));
+  for (std::size_t i = phase1 * d; i < n * d; ++i) values.push_back(near(rng));
+  return Dataset(d, std::move(values));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const std::size_t n = opts.full ? 200000 : (opts.quick ? 20000 : 50000);
+  const std::size_t adv_n = opts.full ? 1000000 : (opts.quick ? 100000 : 250000);
+  const Dim d = 8;
+
+  std::vector<Scenario> scenarios;
+  for (DataType type : {DataType::kUniformIndependent, DataType::kCorrelated,
+                        DataType::kAntiCorrelated}) {
+    scenarios.push_back({bench::ScenarioLabel(type, n, d, opts.seed),
+                         Generate(type, n, d, opts.seed),
+                         StreamingOptions{}});
+  }
+  scenarios.push_back({"ADV99-d4-n" + std::to_string(adv_n) + "-s" +
+                           std::to_string(opts.seed),
+                       MakeAdversarial(adv_n, 4, opts.seed),
+                       StreamingOptions{}});
+  {
+    StreamingOptions drift_options;
+    drift_options.adapt_interval = 256;
+    scenarios.push_back({"DRIFT-d4-n" + std::to_string(n) + "-s" +
+                             std::to_string(opts.seed),
+                         MakeDrift(n, 4, opts.seed), drift_options});
+  }
+
+  std::cout << "# Streaming scenario set — n=" << n << " (adversarial "
+            << adv_n << "), seed=" << opts.seed << "\n\n";
+
+  JsonReport report("bench_streaming");
+  TextTable table({"Scenario", "DT/insert", "RT (ms)", "skyline",
+                   "peak rows", "cand/insert", "compactions", "refreezes"});
+  const auto offline = MakeAlgorithm("sfs-subset");
+
+  for (const Scenario& scenario : scenarios) {
+    const Dataset& data = scenario.data;
+    StreamingSkyline stream(data.num_dims(), scenario.options);
+    const auto start = std::chrono::steady_clock::now();
+    for (PointId p = 0; p < data.num_points(); ++p) {
+      stream.Insert(data.point(p));
+    }
+    const double rt_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (!SameIdSet(stream.Skyline(), offline->Compute(data))) {
+      std::cerr << "[bench_streaming] " << scenario.label
+                << ": streaming result differs from the offline skyline\n";
+      return 1;
+    }
+
+    const StreamingStats& stats = stream.stats();
+    const double dt_per_insert =
+        static_cast<double>(stats.dominance_tests) /
+        static_cast<double>(data.num_points());
+    const double cand_per_insert = stats.CandidatesPerInsert();
+
+    table.AddRow({scenario.label, TextTable::FormatNumber(dt_per_insert),
+                  TextTable::FormatNumber(rt_ms),
+                  std::to_string(stream.skyline_size()),
+                  std::to_string(stats.peak_resident_rows),
+                  TextTable::FormatNumber(cand_per_insert),
+                  std::to_string(stats.compactions),
+                  std::to_string(stats.refreezes)});
+
+    const std::size_t sn = data.num_points();
+    const unsigned sd = data.num_dims();
+    report.Add({"", scenario.label, "streaming", sn, sd, opts.seed, 1,
+                dt_per_insert, rt_ms, stream.skyline_size()});
+    report.Add({"", scenario.label, "streaming-resident-peak", sn, sd,
+                opts.seed, 1, static_cast<double>(stats.peak_resident_rows),
+                rt_ms, stream.skyline_size()});
+    report.Add({"", scenario.label, "streaming-candidate-ratio", sn, sd,
+                opts.seed, 1, cand_per_insert, rt_ms, stream.skyline_size()});
+    std::cerr << "  [streaming] " << scenario.label << " done\n";
+  }
+
+  table.Print(std::cout, "Streaming skyline: insert cost and memory ceiling");
+  std::cout << '\n';
+  return bench::FinishJson(opts, report);
+}

@@ -47,9 +47,11 @@ int main(int argc, char** argv) {
   const std::string output = argv[2];
   const std::string algo_name = argc >= 4 ? argv[3] : "sdi-subset";
 
-  auto data = ReadCsvFile(input);
+  std::string error;
+  auto data = ReadCsvFile(input, &error);
   if (!data) {
-    std::cerr << "cannot read numeric CSV from " << input << "\n";
+    std::cerr << "cannot read numeric CSV from " << input << ": " << error
+              << "\n";
     return 1;
   }
   auto algo = MakeAlgorithm(algo_name);

@@ -57,8 +57,16 @@ int main(int argc, char** argv) {
   std::cout << "\ncurrent Pareto-optimal replicas (latency, errors, cost):\n";
   std::size_t shown = 0;
   for (PointId id : frontier.Skyline()) {
-    std::cout << "  report #" << id << "  "
-              << frontier.data().PointToString(id) << "\n";
+    // frontier.point(id) translates the stable external id to the row
+    // behind it — ids are NOT row indexes once eviction/compaction has
+    // reclaimed storage.
+    const auto values = frontier.point(id);
+    std::cout << "  report #" << id << "  (";
+    for (std::size_t dim = 0; dim < values.size(); ++dim) {
+      if (dim > 0) std::cout << ", ";
+      std::cout << values[dim];
+    }
+    std::cout << ")\n";
     if (++shown == 8) {
       std::cout << "  ... (" << frontier.skyline_size() - shown
                 << " more)\n";

@@ -1,0 +1,87 @@
+// CSV reader/writer harness. Two modes driven by the first input byte:
+//
+//   * parse mode: the remaining bytes are fed to ReadCsv verbatim. On
+//     success every invariant of a Dataset must hold (rectangular,
+//     finite values only — nan/inf must have been rejected) and a
+//     write->read cycle must reproduce the parse bit-for-bit. On
+//     failure the error string must be populated.
+//   * round-trip mode: the remaining bytes are reinterpreted as raw
+//     doubles (non-finite ones skipped); WriteCsv -> ReadCsv must give
+//     back exactly the same values, exercising the shortest-round-trip
+//     formatter across the whole double range.
+#ifndef SKYLINE_FUZZ_HARNESS_CSV_H_
+#define SKYLINE_FUZZ_HARNESS_CSV_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "src/core/dataset.h"
+#include "src/data/csv.h"
+
+namespace skyline::fuzz {
+
+namespace csv_oracle {
+
+/// Write->read must be the identity on any dataset the reader accepts.
+inline void CheckRoundTrip(const Dataset& data) {
+  std::ostringstream out;
+  WriteCsv(data, out);
+  std::istringstream in(out.str());
+  std::string error;
+  const auto back = ReadCsv(in, &error);
+  FUZZ_CHECK(back.has_value(), "write->read round trip failed to parse");
+  FUZZ_CHECK(back->num_dims() == data.num_dims(),
+             "round trip changed the dimensionality");
+  FUZZ_CHECK(back->num_points() == data.num_points(),
+             "round trip changed the cardinality");
+  FUZZ_CHECK(back->values() == data.values(),
+             "round trip is not bit-exact");
+}
+
+}  // namespace csv_oracle
+
+inline void RunCsvFuzzInput(const std::uint8_t* data, std::size_t size) {
+  ByteReader in(data, size);
+  const bool parse_mode = (in.U8() & 1) != 0;
+
+  if (parse_mode) {
+    std::string text;
+    while (!in.exhausted()) text.push_back(static_cast<char>(in.U8()));
+    std::istringstream stream(text);
+    std::string error;
+    const auto parsed = ReadCsv(stream, &error);
+    if (!parsed.has_value()) {
+      FUZZ_CHECK(!error.empty(), "parse failure with an empty error string");
+      return;
+    }
+    FUZZ_CHECK(parsed->num_dims() >= 1, "accepted a zero-dim dataset");
+    FUZZ_CHECK(parsed->num_points() >= 1, "accepted an empty dataset");
+    FUZZ_CHECK(parsed->values().size() ==
+                   parsed->num_points() * parsed->num_dims(),
+               "accepted a non-rectangular dataset");
+    for (const Value v : parsed->values()) {
+      FUZZ_CHECK(std::isfinite(v), "reader let a non-finite value through");
+    }
+    csv_oracle::CheckRoundTrip(*parsed);
+    return;
+  }
+
+  const Dim nd = 1 + in.U8() % 8;
+  std::vector<Value> values;
+  while (in.remaining() >= 8) {
+    const Value v = std::bit_cast<Value>(in.U64());
+    if (std::isfinite(v)) values.push_back(v);
+  }
+  values.resize(values.size() - values.size() % nd);
+  if (values.empty()) return;
+  csv_oracle::CheckRoundTrip(Dataset(nd, std::move(values)));
+}
+
+}  // namespace skyline::fuzz
+
+#endif  // SKYLINE_FUZZ_HARNESS_CSV_H_

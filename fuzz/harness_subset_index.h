@@ -1,13 +1,17 @@
 // SubsetIndex vs. a flat linear-scan oracle. The harness replays a
 // random op sequence (Add / AddAlwaysCandidate / Remove / Query /
-// QueryContained / MergeFrom) against both the prefix tree and a plain
-// vector of (id, subspace) pairs, comparing every query result as a
-// multiset and the num_points accounting after every op.
+// QueryContained / MergeFrom / Compact) against both the prefix tree
+// and a plain vector of (id, subspace) pairs, comparing every query
+// result as a multiset and, after every op, the num_points accounting
+// plus the num_nodes count against the distinct live reversed-path
+// prefixes (the node-reclamation invariant: Remove must not leak dead
+// tree structure).
 #ifndef SKYLINE_FUZZ_HARNESS_SUBSET_INDEX_H_
 #define SKYLINE_FUZZ_HARNESS_SUBSET_INDEX_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -30,6 +34,21 @@ inline void CheckQuery(std::vector<PointId> got, std::vector<PointId> want,
   FUZZ_CHECK(got == want, what);
 }
 
+/// Live-node oracle: the tree must hold exactly one node per distinct
+/// non-empty prefix of the stored entries' reversed paths (path keys
+/// strictly increase, so a prefix is uniquely identified by its dim set).
+inline std::size_t ExpectedNodes(const std::vector<Entry>& ref, Dim nd) {
+  std::set<std::uint64_t> prefixes;
+  for (const Entry& e : ref) {
+    std::uint64_t prefix = 0;
+    Subspace(e.second).Complement(nd).ForEachDim([&](Dim dim) {
+      prefix |= std::uint64_t{1} << dim;
+      prefixes.insert(prefix);
+    });
+  }
+  return prefixes.size();
+}
+
 }  // namespace index_oracle
 
 inline void RunSubsetIndexFuzzInput(const std::uint8_t* data,
@@ -48,7 +67,7 @@ inline void RunSubsetIndexFuzzInput(const std::uint8_t* data,
   int ops = 0;
   while (!in.exhausted() && ops < 256) {
     ++ops;
-    const std::uint8_t op = in.U8() % 8;
+    const std::uint8_t op = in.U8() % 9;
     switch (op) {
       case 0:
       case 1: {  // Add to the main index (2x weight: adds dominate real use)
@@ -128,6 +147,11 @@ inline void RunSubsetIndexFuzzInput(const std::uint8_t* data,
         staging = SubsetIndex(nd);
         break;
       }
+      case 8: {  // Compact: eager Remove reclamation leaves nothing to prune
+        FUZZ_CHECK(index.Compact() == 0,
+                   "Compact found dead nodes Remove should have reclaimed");
+        break;
+      }
       default:
         break;
     }
@@ -135,6 +159,11 @@ inline void RunSubsetIndexFuzzInput(const std::uint8_t* data,
                "num_points accounting disagrees with the oracle");
     FUZZ_CHECK(staging.num_points() == staging_ref.size(),
                "staging num_points accounting disagrees with the oracle");
+    FUZZ_CHECK(index.num_nodes() == index_oracle::ExpectedNodes(ref, nd),
+               "num_nodes disagrees with the live reversed-path prefixes");
+    FUZZ_CHECK(
+        staging.num_nodes() == index_oracle::ExpectedNodes(staging_ref, nd),
+        "staging num_nodes disagrees with the live reversed-path prefixes");
   }
 
   // Final exhaustive sweep: every single-dimension probe and the two

@@ -13,25 +13,38 @@ Records are joined on (bench, scenario, algorithm). Two checks per pair:
     only: regressions beyond --rt-tolerance (default 75%) are printed
     as warnings and never fail the gate.
 
-A missing baseline file is skipped cleanly (exit 0 with a note), so the
-gate can land before its first baseline does.
+Pairs are DISCOVERED from the baseline directory: every
+bench/baselines/BENCH_<name>.json must have a matching BENCH_<name>.json
+in the current directory, produced by the bench suite. A baseline whose
+current report is missing is a HARD FAILURE — a silently skipped
+benchmark is exactly how a perf regression sneaks past the gate. (An
+earlier version only compared a hardcoded pair list, so new baselines
+were silently ignored; --self-test covers this case now.)
 
 Usage:
-  scripts/check_perf.py                       # default pairs (repo root
-                                              # vs bench/baselines/)
-  scripts/check_perf.py CURRENT BASELINE      # one explicit pair
-  scripts/check_perf.py --dt-tolerance 0.3 --rt-tolerance 0.75 [pairs...]
+  scripts/check_perf.py                       # discover pairs from
+                                              # bench/baselines/
+  scripts/check_perf.py CURRENT BASELINE      # explicit pair(s) instead
+  scripts/check_perf.py --self-test           # verify the gate's own
+                                              # failure detection
 """
 
 import argparse
+import glob
 import json
 import os
 import sys
 
-DEFAULT_PAIRS = [
-    ("BENCH_kernels.json", "bench/baselines/BENCH_kernels.json"),
-    ("BENCH_subset.json", "bench/baselines/BENCH_subset.json"),
-]
+BASELINE_DIR = "bench/baselines"
+
+
+def discover_pairs(baseline_dir, current_dir):
+    """One (current, baseline) pair per baseline file. Never empty-skips:
+    a baseline directory with no BENCH_*.json at all is an error, since
+    it means the gate would pass without checking anything."""
+    baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    return [(os.path.join(current_dir, os.path.basename(b)), b)
+            for b in baselines]
 
 
 def load_records(path):
@@ -51,10 +64,12 @@ def load_records(path):
 def check_pair(current_path, baseline_path, dt_tol, rt_tol):
     """Returns (hard_failures, advisories) for one current/baseline pair."""
     if not os.path.exists(baseline_path):
-        print(f"[skip] no baseline at {baseline_path} — nothing to gate")
-        return 0, 0
+        print(f"[FAIL] baseline {baseline_path} missing")
+        return 1, 0
     if not os.path.exists(current_path):
-        print(f"[FAIL] {current_path} missing — bench suite did not run?")
+        print(f"[FAIL] {current_path} missing — bench suite did not produce "
+              "a report for this baseline (silently skipping it would let "
+              "regressions through)")
         return 1, 0
 
     current = load_records(current_path)
@@ -109,33 +124,144 @@ def check_pair(current_path, baseline_path, dt_tol, rt_tol):
     return failures, advisories
 
 
+def run_gate(pairs, dt_tol, rt_tol):
+    total_failures = 0
+    for current, base in pairs:
+        failures, _ = check_pair(current, base, dt_tol, rt_tol)
+        total_failures += failures
+    if total_failures:
+        print(f"PERF GATE FAILED: {total_failures} hard failure(s)")
+        return 1
+    print("perf gate OK")
+    return 0
+
+
+def self_test():
+    """Verifies the gate's own failure detection against synthetic
+    reports — in particular that a baseline with no current report is a
+    hard failure, not a silent pass (the historical bug)."""
+    import tempfile
+
+    def write_report(path, records):
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"schema_version": 1, "records": records}, f)
+
+    def record(bench="b", scenario="s", algorithm="a", dt=100.0, rt=5.0,
+               skyline=10):
+        return {"bench": bench, "scenario": scenario, "algorithm": algorithm,
+                "n": 1000, "d": 4, "seed": 42, "runs": 1,
+                "dt_per_point": dt, "rt_ms": rt, "skyline_size": skyline}
+
+    problems = []
+
+    def expect(name, got_failures, want_nonzero):
+        ok = (got_failures > 0) == want_nonzero
+        print(f"[self-test] {name}: {'ok' if ok else 'BROKEN'}")
+        if not ok:
+            problems.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "baselines")
+        cur_dir = os.path.join(tmp, "current")
+        os.makedirs(base_dir)
+        os.makedirs(cur_dir)
+
+        # Two baselines; only one has a current report. Discovery must
+        # surface both and fail the missing one.
+        write_report(os.path.join(base_dir, "BENCH_one.json"), [record()])
+        write_report(os.path.join(base_dir, "BENCH_two.json"),
+                     [record(bench="two")])
+        write_report(os.path.join(cur_dir, "BENCH_one.json"), [record()])
+        pairs = discover_pairs(base_dir, cur_dir)
+        expect("discovery finds every baseline", 0 if len(pairs) == 2 else 1,
+               False)
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_two.json"),
+                          os.path.join(base_dir, "BENCH_two.json"), 0.3, 0.75)
+        expect("missing current report is a hard failure", f, True)
+
+        # Identical reports pass.
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_one.json"),
+                          os.path.join(base_dir, "BENCH_one.json"), 0.3, 0.75)
+        expect("identical reports pass", f, False)
+
+        # A record dropped from the current report fails.
+        write_report(os.path.join(base_dir, "BENCH_three.json"),
+                     [record(), record(scenario="s2")])
+        write_report(os.path.join(cur_dir, "BENCH_three.json"), [record()])
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_three.json"),
+                          os.path.join(base_dir, "BENCH_three.json"),
+                          0.3, 0.75)
+        expect("dropped record is a hard failure", f, True)
+
+        # A DT regression beyond tolerance fails; within tolerance passes.
+        write_report(os.path.join(cur_dir, "BENCH_reg.json"),
+                     [record(dt=150.0)])
+        write_report(os.path.join(base_dir, "BENCH_reg.json"),
+                     [record(dt=100.0)])
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_reg.json"),
+                          os.path.join(base_dir, "BENCH_reg.json"), 0.3, 0.75)
+        expect("dt regression beyond tolerance fails", f, True)
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_reg.json"),
+                          os.path.join(base_dir, "BENCH_reg.json"), 0.6, 0.75)
+        expect("dt regression within tolerance passes", f, False)
+
+        # A changed skyline size fails (correctness, not perf).
+        write_report(os.path.join(cur_dir, "BENCH_sky.json"),
+                     [record(skyline=11)])
+        write_report(os.path.join(base_dir, "BENCH_sky.json"),
+                     [record(skyline=10)])
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_sky.json"),
+                          os.path.join(base_dir, "BENCH_sky.json"), 0.3, 0.75)
+        expect("skyline_size change fails", f, True)
+
+        # RT noise alone never fails.
+        write_report(os.path.join(cur_dir, "BENCH_rt.json"),
+                     [record(rt=50.0)])
+        write_report(os.path.join(base_dir, "BENCH_rt.json"),
+                     [record(rt=5.0)])
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_rt.json"),
+                          os.path.join(base_dir, "BENCH_rt.json"), 0.3, 0.75)
+        expect("rt regression is advisory only", f, False)
+
+    if problems:
+        print(f"SELF-TEST FAILED: {', '.join(problems)}")
+        return 1
+    print("self-test OK")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dt-tolerance", type=float, default=0.30,
                         help="hard-gate tolerance on dt_per_point")
     parser.add_argument("--rt-tolerance", type=float, default=0.75,
                         help="advisory tolerance on rt_ms")
+    parser.add_argument("--baseline-dir", default=BASELINE_DIR,
+                        help="directory scanned for BENCH_*.json baselines")
+    parser.add_argument("--current-dir", default=".",
+                        help="directory holding the fresh BENCH_*.json reports")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate's own failure detection and exit")
     parser.add_argument("files", nargs="*",
-                        help="CURRENT BASELINE pairs; default: "
-                             + ", ".join("/".join(p) for p in DEFAULT_PAIRS))
+                        help="explicit CURRENT BASELINE pairs (overrides "
+                             "discovery)")
     args = parser.parse_args()
 
-    if args.files and len(args.files) % 2 != 0:
-        parser.error("files must come in CURRENT BASELINE pairs")
-    pairs = (list(zip(args.files[::2], args.files[1::2]))
-             if args.files else DEFAULT_PAIRS)
+    if args.self_test:
+        return self_test()
 
-    total_failures = 0
-    for current, base in pairs:
-        failures, _ = check_pair(current, base, args.dt_tolerance,
-                                 args.rt_tolerance)
-        total_failures += failures
+    if args.files:
+        if len(args.files) % 2 != 0:
+            parser.error("files must come in CURRENT BASELINE pairs")
+        pairs = list(zip(args.files[::2], args.files[1::2]))
+    else:
+        pairs = discover_pairs(args.baseline_dir, args.current_dir)
+        if not pairs:
+            print(f"[FAIL] no BENCH_*.json baselines under "
+                  f"{args.baseline_dir} — the gate has nothing to check")
+            return 1
 
-    if total_failures:
-        print(f"PERF GATE FAILED: {total_failures} hard failure(s)")
-        return 1
-    print("perf gate OK")
-    return 0
+    return run_gate(pairs, args.dt_tolerance, args.rt_tolerance)
 
 
 if __name__ == "__main__":

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Standardized perf scenario set: runs the kernel microbench and the
-# subset-suite bench on the fixed UI/CO/AC scenarios (seed 42) and
-# writes the machine-readable reports
+# Standardized perf scenario set: runs the kernel microbench, the
+# subset-suite bench and the streaming bench on the fixed scenarios
+# (seed 42) and writes the machine-readable reports
 #
-#   BENCH_kernels.json   (bench_kernels)
-#   BENCH_subset.json    (bench_subset_suite)
+#   BENCH_kernels.json     (bench_kernels)
+#   BENCH_subset.json      (bench_subset_suite)
+#   BENCH_streaming.json   (bench_streaming)
 #
 # to the output directory (default: repo root), so the perf trajectory
 # is diffable PR-over-PR. CI (the perf-smoke job) runs this with
 # --quick and gates the result via scripts/check_perf.py against
-# bench/baselines/*.json.
+# bench/baselines/*.json — every baseline file there must be reproduced
+# by this script, or the gate hard-fails on the missing report.
 #
 # Usage: scripts/run_bench_suite.sh [--quick] [--full]
 #                                   [--build-dir DIR] [--out-dir DIR]
@@ -36,12 +38,16 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-if [ ! -x "$BUILD_DIR/bench/bench_kernels" ] ||
-   [ ! -x "$BUILD_DIR/bench/bench_subset_suite" ]; then
+BENCHES=(bench_kernels bench_subset_suite bench_streaming)
+
+missing=0
+for bench in "${BENCHES[@]}"; do
+  [ -x "$BUILD_DIR/bench/$bench" ] || missing=1
+done
+if [ "$missing" -ne 0 ]; then
   echo "==== bench binaries missing, building ($BUILD_DIR, Release) ===="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_kernels bench_subset_suite
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
 fi
 
 mkdir -p "$OUT_DIR"
@@ -53,4 +59,9 @@ echo "==== bench_subset_suite ${SCALE:-(reduced)} ===="
 "$BUILD_DIR/bench/bench_subset_suite" $SCALE \
   --json="$OUT_DIR/BENCH_subset.json"
 
-echo "Wrote $OUT_DIR/BENCH_kernels.json and $OUT_DIR/BENCH_subset.json"
+echo "==== bench_streaming ${SCALE:-(reduced)} ===="
+"$BUILD_DIR/bench/bench_streaming" $SCALE \
+  --json="$OUT_DIR/BENCH_streaming.json"
+
+echo "Wrote $OUT_DIR/BENCH_kernels.json, $OUT_DIR/BENCH_subset.json" \
+     "and $OUT_DIR/BENCH_streaming.json"

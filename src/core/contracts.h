@@ -1,7 +1,13 @@
 // Runtime contract checking for the invariants the correctness argument
 // rests on (ISSUE 2): Merge's maximum-dominating-subspace postcondition,
 // the SubsetIndex superset-query guarantee, partitioner determinism, and
-// the Subspace set algebra.
+// the Subspace set algebra. The streaming memory model (ISSUE 4) adds
+// two more guarded invariants: SubsetIndex node accounting (num_nodes()
+// counts exactly the live prefix nodes — Remove reclaims emptied chains,
+// verified against a shadow mirror under SKYLINE_CHECKS) and the
+// StreamingSkyline residency bound (resident rows never exceed
+// max(compact_high_water, 2 * skyline_size) once compaction is enabled,
+// with external ids stable across compactions).
 //
 // Three macros, two cost tiers:
 //

@@ -69,6 +69,40 @@ struct SkylineStats {
   }
 };
 
+/// Counters reported by StreamingSkyline (src/stream/). Lives next to
+/// SkylineStats because the bench pipeline consumes both: the
+/// candidate-per-insert ratio below is the gated drift metric of
+/// bench_streaming.
+struct StreamingStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t rejected_dominated = 0;  // arrived already dominated
+  std::uint64_t evictions = 0;           // skyline points displaced
+  std::uint64_t dominance_tests = 0;     // O(d) pairwise scans
+  std::uint64_t index_queries = 0;
+  std::uint64_t index_candidates = 0;
+
+  /// Storage compactions (dead rows reclaimed behind the stable-id
+  /// remap).
+  std::uint64_t compactions = 0;
+
+  /// Adaptive re-references: the frozen reference set was replaced and
+  /// all masks/index entries rebuilt because pruning power degraded.
+  std::uint64_t refreezes = 0;
+
+  /// High-water mark of resident dataset rows (live + not-yet-compacted
+  /// dead); the memory-ceiling metric gated by bench_streaming.
+  std::uint64_t peak_resident_rows = 0;
+
+  /// Mean index candidates retrieved per insert — the observed pruning
+  /// power of the current reference set. Degradation of this ratio is
+  /// what triggers adaptive re-referencing.
+  double CandidatesPerInsert() const {
+    return inserts == 0 ? 0.0
+                        : static_cast<double>(index_candidates) /
+                              static_cast<double>(inserts);
+  }
+};
+
 /// Per-work-unit counter slots for the parallel engines.
 ///
 /// Each work unit (partition) owns one slot; a worker fills the slot of

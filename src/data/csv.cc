@@ -1,18 +1,25 @@
 #include "src/data/csv.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <ostream>
-#include <sstream>
+#include <string>
+#include <system_error>
 #include <vector>
 
 namespace skyline {
 
 namespace {
 
+enum class FieldStatus {
+  kOk,
+  kNotNumeric,  // candidate header line
+  kNonFinite,   // nan/inf: numeric to from_chars but poisonous downstream
+};
+
 /// Splits a CSV line on commas/semicolons/whitespace into numeric fields.
-/// Returns false if any non-empty field is not numeric.
-bool ParseLine(const std::string& line, std::vector<Value>* out) {
+FieldStatus ParseLine(const std::string& line, std::vector<Value>* out) {
   out->clear();
   std::size_t i = 0;
   const std::size_t n = line.size();
@@ -30,22 +37,39 @@ bool ParseLine(const std::string& line, std::vector<Value>* out) {
     Value v{};
     const auto [ptr, ec] =
         std::from_chars(line.data() + i, line.data() + j, v);
-    if (ec != std::errc{} || ptr != line.data() + j) return false;
+    if (ec != std::errc{} || ptr != line.data() + j) {
+      return FieldStatus::kNotNumeric;
+    }
+    // from_chars accepts "nan"/"inf"/"-inf" as valid doubles, but a
+    // non-finite coordinate breaks every dominance comparison (NaN makes
+    // Compare non-transitive), so the reader refuses them outright.
+    if (!std::isfinite(v)) return FieldStatus::kNonFinite;
     out->push_back(v);
     i = j;
   }
-  return true;
+  return FieldStatus::kOk;
+}
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
 }
 
 }  // namespace
 
 void WriteCsv(const Dataset& data, std::ostream& out) {
   const Dim d = data.num_dims();
+  // Shortest round-trip formatting: to_chars without a precision emits
+  // the fewest digits that parse back to the exact same double, so a
+  // write/read cycle is lossless (ostream default is 6 significant
+  // digits, which silently perturbs values).
+  char buf[64];
   for (PointId p = 0; p < data.num_points(); ++p) {
     const Value* row = data.row(p);
     for (Dim i = 0; i < d; ++i) {
       if (i > 0) out << ',';
-      out << row[i];
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), row[i]);
+      out.write(buf, ptr - buf);
+      (void)ec;  // 64 bytes always fit a shortest double
     }
     out << '\n';
   }
@@ -58,38 +82,59 @@ bool WriteCsvFile(const Dataset& data, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Dataset> ReadCsv(std::istream& in) {
+std::optional<Dataset> ReadCsv(std::istream& in, std::string* error) {
   std::string line;
   std::vector<Value> fields;
   std::vector<Value> values;
   Dim dims = 0;
+  std::size_t line_number = 0;
   bool first_content_line = true;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.find_first_not_of(",;\t\r ") == std::string::npos) continue;
-    if (!ParseLine(line, &fields)) {
-      if (first_content_line) {
-        first_content_line = false;  // header line: skip
-        continue;
-      }
-      return std::nullopt;
+    switch (ParseLine(line, &fields)) {
+      case FieldStatus::kNotNumeric:
+        if (first_content_line) {
+          first_content_line = false;  // header line: skip
+          continue;
+        }
+        SetError(error, "line " + std::to_string(line_number) +
+                            ": non-numeric field");
+        return std::nullopt;
+      case FieldStatus::kNonFinite:
+        SetError(error, "line " + std::to_string(line_number) +
+                            ": non-finite value (nan/inf not allowed)");
+        return std::nullopt;
+      case FieldStatus::kOk:
+        break;
     }
     if (fields.empty()) continue;
     if (dims == 0) {
       dims = static_cast<Dim>(fields.size());
     } else if (fields.size() != dims) {
+      SetError(error, "line " + std::to_string(line_number) + ": expected " +
+                          std::to_string(dims) + " fields, got " +
+                          std::to_string(fields.size()));
       return std::nullopt;  // ragged row
     }
     values.insert(values.end(), fields.begin(), fields.end());
     first_content_line = false;
   }
-  if (dims == 0) return std::nullopt;
+  if (dims == 0) {
+    SetError(error, "no data rows");
+    return std::nullopt;
+  }
   return Dataset(dims, std::move(values));
 }
 
-std::optional<Dataset> ReadCsvFile(const std::string& path) {
+std::optional<Dataset> ReadCsvFile(const std::string& path,
+                                   std::string* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return ReadCsv(in);
+  if (!in) {
+    SetError(error, "cannot open '" + path + "'");
+    return std::nullopt;
+  }
+  return ReadCsv(in, error);
 }
 
 }  // namespace skyline

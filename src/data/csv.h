@@ -11,7 +11,9 @@
 
 namespace skyline {
 
-/// Writes `data` as comma-separated numeric rows.
+/// Writes `data` as comma-separated numeric rows. Values are formatted
+/// with shortest-round-trip precision (std::to_chars), so
+/// ReadCsv(WriteCsv(data)) reproduces every value bit-for-bit.
 void WriteCsv(const Dataset& data, std::ostream& out);
 
 /// Writes to `path`; returns false if the file cannot be opened.
@@ -20,11 +22,17 @@ bool WriteCsvFile(const Dataset& data, const std::string& path);
 /// Parses comma- (or semicolon-/whitespace-) separated numeric rows. A
 /// first line that fails numeric parsing is treated as a header and
 /// skipped; blank lines are ignored. Returns std::nullopt on malformed
-/// input (ragged rows, non-numeric fields past the header).
-std::optional<Dataset> ReadCsv(std::istream& in);
+/// input: ragged rows, non-numeric fields past the header, or any
+/// non-finite field (nan/inf parse numerically but poison dominance
+/// comparisons, so they are rejected on every line — including the
+/// first). If `error` is non-null it receives a description of the
+/// failure, including the offending line number.
+std::optional<Dataset> ReadCsv(std::istream& in, std::string* error = nullptr);
 
-/// Reads from `path`; std::nullopt if the file cannot be opened or parsed.
-std::optional<Dataset> ReadCsvFile(const std::string& path);
+/// Reads from `path`; std::nullopt if the file cannot be opened or parsed
+/// (`error` describes which, when non-null).
+std::optional<Dataset> ReadCsvFile(const std::string& path,
+                                   std::string* error = nullptr);
 
 }  // namespace skyline
 

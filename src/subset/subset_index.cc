@@ -1,6 +1,7 @@
 #include "src/subset/subset_index.h"
 
 #include <algorithm>
+#include <array>
 
 #include "src/core/contracts.h"
 
@@ -194,6 +195,14 @@ void SubsetIndex::MergeFrom(SubsetIndex&& other) {
 }
 
 bool SubsetIndex::Remove(PointId id, Subspace subspace) {
+  // Walk down the reversed path, recording every step so the emptied
+  // tail can be reclaimed on the way back up.
+  struct Step {
+    Node* parent;
+    std::size_t child;
+  };
+  std::array<Step, Subspace::kMaxDims> path;
+  std::size_t depth = 0;
   Node* node = &root_;
   bool found_path = true;
   subspace.Complement(num_dims_).ForEachDim([&](Dim dim) {
@@ -205,6 +214,8 @@ bool SubsetIndex::Remove(PointId id, Subspace subspace) {
       found_path = false;
       return;
     }
+    path[depth++] = {node,
+                     static_cast<std::size_t>(it - node->children.begin())};
     node = it->second.get();
   });
   if (!found_path) return false;
@@ -213,6 +224,15 @@ bool SubsetIndex::Remove(PointId id, Subspace subspace) {
   *it = node->points.back();
   node->points.pop_back();
   --num_points_;
+  // Reclaim the now-dead tail: a node with no points and no children can
+  // never satisfy a query, so num_nodes() keeps meaning live nodes.
+  while (depth > 0 && node->points.empty() && node->children.empty()) {
+    const Step& step = path[--depth];
+    step.parent->children.erase(step.parent->children.begin() +
+                                static_cast<std::ptrdiff_t>(step.child));
+    --num_nodes_;
+    node = step.parent;
+  }
 #ifdef SKYLINE_CHECKS
   const auto range = shadow_.equal_range(id);
   for (auto sit = range.first; sit != range.second; ++sit) {
@@ -224,6 +244,30 @@ bool SubsetIndex::Remove(PointId id, Subspace subspace) {
   ValidateAccounting();
 #endif
   return true;
+}
+
+void SubsetIndex::CompactNode(Node* node, std::size_t* pruned) {
+  for (auto& [dim, child] : node->children) {
+    (void)dim;
+    CompactNode(child.get(), pruned);
+  }
+  std::erase_if(node->children, [pruned](const auto& entry) {
+    if (entry.second->points.empty() && entry.second->children.empty()) {
+      ++*pruned;
+      return true;
+    }
+    return false;
+  });
+}
+
+std::size_t SubsetIndex::Compact() {
+  std::size_t pruned = 0;
+  CompactNode(&root_, &pruned);
+  num_nodes_ -= pruned;
+#ifdef SKYLINE_CHECKS
+  ValidateAccounting();
+#endif
+  return pruned;
 }
 
 #ifdef SKYLINE_CHECKS
@@ -240,6 +284,11 @@ void SubsetIndex::ValidateAccounting() const {
         SKYLINE_DCHECK(dim < num_dims, "index: child key outside full space");
         SKYLINE_DCHECK(static_cast<int>(dim) > last,
                        "index: child keys not strictly increasing");
+        // Reclamation invariant: an empty childless node can never
+        // satisfy a query, so Add/Remove/MergeFrom/Compact must never
+        // leave one behind (num_nodes() counts live nodes only).
+        SKYLINE_DCHECK(!child->children.empty() || !child->points.empty(),
+                       "index: dead (empty leaf) node not reclaimed");
         last = static_cast<int>(dim);
         ++nodes;
         Walk(*child, static_cast<int>(dim));

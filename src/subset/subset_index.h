@@ -75,9 +75,18 @@ class SubsetIndex {
 
   /// Removes one occurrence of `id` stored under `subspace` (the exact
   /// subspace passed to Add). Returns false if it was not present.
-  /// Nodes are not reclaimed — the index is optimized for the
-  /// insert-heavy skyline workload where removals are rare.
+  /// Emptied trailing nodes of the path are reclaimed eagerly: a node
+  /// with no points and no children can never satisfy a query, so
+  /// `num_nodes()` keeps meaning *live* nodes even under long
+  /// add/remove streams (the streaming extension depends on this to
+  /// stay memory-bounded).
   bool Remove(PointId id, Subspace subspace);
+
+  /// Prunes every empty leaf chain in the tree and returns the number
+  /// of nodes reclaimed. With the eager reclamation done by Remove this
+  /// is a no-op (returns 0); it exists as a safety net for callers that
+  /// want to assert the no-dead-nodes invariant explicitly.
+  std::size_t Compact();
 
   /// Splices every entry of `other` (same dimensionality) into this
   /// index, leaving `other` empty. Equivalent to replaying every Add of
@@ -89,7 +98,8 @@ class SubsetIndex {
 
   Dim num_dims() const { return num_dims_; }
 
-  /// Number of tree nodes, excluding the root.
+  /// Number of *live* tree nodes, excluding the root. Remove reclaims
+  /// emptied paths eagerly, so this never counts dead structure.
   std::size_t num_nodes() const { return num_nodes_; }
 
   /// Number of stored point ids.
@@ -120,6 +130,10 @@ class SubsetIndex {
 
   /// Nodes in the subtree rooted at `node`, including `node` itself.
   static std::size_t CountSubtreeNodes(const Node& node);
+
+  /// Recursively drops children whose subtree holds no points;
+  /// increments `*pruned` per reclaimed node.
+  static void CompactNode(Node* node, std::size_t* pruned);
 
   Dim num_dims_;
   Node root_;

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 
+#include "src/core/verify.h"
 #include "src/data/generator.h"
 
 namespace skyline {
@@ -62,7 +65,7 @@ TEST(CsvTest, ReadRejectsEmptyInput) {
   EXPECT_FALSE(ReadCsv(in).has_value());
 }
 
-TEST(CsvTest, RoundTripPreservesValues) {
+TEST(CsvTest, RoundTripPreservesValuesExactly) {
   Dataset data = Generate(DataType::kUniformIndependent, 50, 3, 17);
   std::ostringstream out;
   WriteCsv(data, out);
@@ -71,11 +74,79 @@ TEST(CsvTest, RoundTripPreservesValues) {
   ASSERT_TRUE(back.has_value());
   ASSERT_EQ(back->num_points(), data.num_points());
   ASSERT_EQ(back->num_dims(), data.num_dims());
-  for (PointId p = 0; p < data.num_points(); ++p) {
-    for (Dim i = 0; i < data.num_dims(); ++i) {
-      // Default ostream precision is 6 significant digits.
-      EXPECT_NEAR(back->at(p, i), data.at(p, i), 1e-5);
-    }
+  // Shortest-round-trip formatting: every value comes back bit-for-bit.
+  EXPECT_EQ(back->values(), data.values());
+}
+
+TEST(CsvTest, RoundTripPreservesSkyline) {
+  // Differential check of the write->read cycle: a formatting loss of
+  // even one ulp can flip a dominance comparison and change the skyline.
+  for (const std::uint64_t seed : {7u, 17u, 1234567u}) {
+    Dataset data =
+        Generate(DataType::kAntiCorrelated, 400, 6, seed);
+    std::ostringstream out;
+    WriteCsv(data, out);
+    std::istringstream in(out.str());
+    auto back = ReadCsv(in);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(
+        SameIdSet(ReferenceSkyline(data), ReferenceSkyline(*back)))
+        << "seed=" << seed;
+  }
+}
+
+TEST(CsvTest, RoundTripPreservesAwkwardDoubles) {
+  // Values that 6-significant-digit formatting visibly corrupts.
+  Dataset data = Dataset::FromRows(
+      {{0.1, 1.0 / 3.0, 1e-300},
+       {1.0000001, 0x1.fffffffffffffp-1, 123456.789012345},
+       {-2.2250738585072014e-308, 9007199254740993.0, 1e300}});
+  std::ostringstream out;
+  WriteCsv(data, out);
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->values(), data.values());
+}
+
+TEST(CsvTest, ReadRejectsNonFiniteValues) {
+  for (const char* field : {"nan", "NaN", "inf", "-inf", "INF", "infinity"}) {
+    std::istringstream in(std::string("1,2\n3,") + field + "\n");
+    std::string error;
+    EXPECT_FALSE(ReadCsv(in, &error).has_value()) << field;
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  }
+}
+
+TEST(CsvTest, ReadRejectsNonFiniteOnFirstLine) {
+  // A numeric-but-non-finite first line is NOT a header: it must fail
+  // loudly rather than be silently skipped.
+  std::istringstream in("nan,inf\n1,2\n");
+  std::string error;
+  EXPECT_FALSE(ReadCsv(in, &error).has_value());
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+}
+
+TEST(CsvTest, ReadReportsErrorDetails) {
+  {
+    std::istringstream in("1,2\n3,4,5\n");
+    std::string error;
+    EXPECT_FALSE(ReadCsv(in, &error).has_value());
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  }
+  {
+    std::istringstream in("price,distance\n1,2\nfoo,4\n");
+    std::string error;
+    EXPECT_FALSE(ReadCsv(in, &error).has_value());
+    EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+    EXPECT_NE(error.find("non-numeric"), std::string::npos) << error;
+  }
+  {
+    std::string error;
+    EXPECT_FALSE(ReadCsvFile("/nonexistent/path/data.csv", &error)
+                     .has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
   }
 }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+#include <vector>
+
 #include "src/core/verify.h"
 #include "src/data/generator.h"
 
@@ -145,6 +149,185 @@ TEST(StreamingSkylineTest, IndexPruningBeatsFullScanCandidateCounts) {
       static_cast<double>(stats.index_queries);
   EXPECT_LT(mean_candidates,
             static_cast<double>(stream.skyline_size()) * 0.8);
+}
+
+TEST(StreamingBoundaryTest, BootstrapSizeOneFreezesOnFirstInsert) {
+  // The smallest legal bootstrap: the first point becomes the entire
+  // reference set and every later insert goes through the index.
+  Dataset data = Generate(DataType::kUniformIndependent, 300, 4, 21);
+  StreamingOptions options;
+  options.bootstrap_size = 1;
+  StreamingSkyline stream(data.num_dims(), options);
+  stream.Insert(data.point(0));
+  EXPECT_EQ(stream.reference_points().size(), 1u);
+  EXPECT_EQ(stream.reference_points()[0], 0u);
+  for (PointId p = 1; p < data.num_points(); ++p) {
+    stream.Insert(data.point(p));
+  }
+  EXPECT_TRUE(SameIdSet(stream.Skyline(), ReferenceSkyline(data)));
+}
+
+TEST(StreamingBoundaryTest, BootstrapSizeZeroIsClampedToOne) {
+  StreamingSkyline stream(2, {.bootstrap_size = 0});
+  const Value a[] = {1, 2};
+  EXPECT_TRUE(stream.Insert(a));
+  EXPECT_EQ(stream.reference_points().size(), 1u);
+  EXPECT_EQ(stream.skyline_size(), 1u);
+}
+
+TEST(StreamingBoundaryTest, DuplicatePointsSurviveAcrossTheFreeze) {
+  // Duplicates never dominate each other, so every copy stays on the
+  // skyline whether it arrived before or after the freeze.
+  StreamingSkyline stream(3, {.bootstrap_size = 1});
+  const Value p[] = {1, 2, 3};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(stream.Insert(p));
+  EXPECT_EQ(stream.skyline_size(), 5u);
+  EXPECT_EQ(stream.stats().evictions, 0u);
+  for (PointId id = 0; id < 5; ++id) EXPECT_TRUE(stream.IsSkyline(id));
+}
+
+TEST(StreamingBoundaryTest, AllDominatedStreamStoresNothing) {
+  // One good point, then a long stream of strictly worse arrivals: the
+  // structure must not retain a single rejected point, in either the
+  // bootstrap or the indexed regime.
+  StreamingSkyline stream(3, {.bootstrap_size = 8});
+  const Value good[] = {0, 0, 0};
+  EXPECT_TRUE(stream.Insert(good));
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<Value> bad(1.0, 2.0);
+  for (int i = 0; i < 2000; ++i) {
+    const Value row[] = {bad(rng), bad(rng), bad(rng)};
+    EXPECT_FALSE(stream.Insert(row));
+  }
+  EXPECT_EQ(stream.resident_rows(), 1u);
+  EXPECT_EQ(stream.stats().peak_resident_rows, 1u);
+  EXPECT_EQ(stream.stats().rejected_dominated, 2000u);
+  EXPECT_EQ(stream.num_points(), 2001u);
+  EXPECT_EQ(stream.Skyline(), std::vector<PointId>{0});
+}
+
+TEST(StreamingMemoryTest, ExternalIdsStayValidAcrossCompaction) {
+  StreamingSkyline stream(2, {.bootstrap_size = 2});
+  const Value a[] = {1, 9};
+  const Value b[] = {9, 1};
+  const Value c[] = {5, 5};
+  const Value d[] = {4, 4};  // evicts c
+  stream.Insert(a);
+  stream.Insert(b);
+  stream.Insert(c);
+  stream.Insert(d);
+  ASSERT_EQ(stream.resident_rows(), 4u);  // dead row for c still resident
+  stream.CompactNow();
+  EXPECT_EQ(stream.resident_rows(), 3u);
+  EXPECT_EQ(stream.stats().compactions, 1u);
+  // Ids are insertion-order and survive the row shuffle.
+  EXPECT_TRUE(stream.IsSkyline(0));
+  EXPECT_TRUE(stream.IsSkyline(1));
+  EXPECT_FALSE(stream.IsSkyline(2));
+  EXPECT_TRUE(stream.IsSkyline(3));
+  EXPECT_TRUE(SameIdSet(stream.Skyline(), {0, 1, 3}));
+  // point(id) resolves external ids to the moved rows.
+  EXPECT_EQ(stream.point(0)[0], 1);
+  EXPECT_EQ(stream.point(0)[1], 9);
+  EXPECT_EQ(stream.point(3)[0], 4);
+  EXPECT_EQ(stream.point(3)[1], 4);
+  // The structure keeps answering inserts correctly after compaction.
+  const Value e[] = {3, 3};  // evicts d
+  EXPECT_TRUE(stream.Insert(e));
+  EXPECT_TRUE(SameIdSet(stream.Skyline(), {0, 1, 4}));
+  EXPECT_EQ(stream.point(4)[0], 3);
+}
+
+TEST(StreamingMemoryTest, HighWaterMarkBoundsResidentRows) {
+  // A monotone-improving stream evicts on every insert — the worst case
+  // for dead-row accumulation. Resident rows must stay within
+  // max(high_water, 2 * skyline_size) at every step.
+  StreamingOptions options;
+  options.bootstrap_size = 4;
+  options.compact_high_water = 64;
+  StreamingSkyline stream(2, options);
+  for (int i = 5000; i >= 1; --i) {
+    const Value row[] = {static_cast<Value>(i), static_cast<Value>(i)};
+    stream.Insert(row);
+    ASSERT_LE(stream.resident_rows(), 64u) << "insert " << 5000 - i;
+  }
+  EXPECT_EQ(stream.skyline_size(), 1u);
+  EXPECT_GT(stream.stats().compactions, 0u);
+  EXPECT_LE(stream.stats().peak_resident_rows, 64u);
+  EXPECT_TRUE(stream.IsSkyline(4999));
+}
+
+TEST(StreamingMemoryTest, CompactionDisabledRetainsEveryAcceptedRow) {
+  StreamingOptions options;
+  options.bootstrap_size = 4;
+  options.compact_high_water = 0;  // pre-bounded behavior
+  StreamingSkyline stream(2, options);
+  for (int i = 200; i >= 1; --i) {
+    const Value row[] = {static_cast<Value>(i), static_cast<Value>(i)};
+    stream.Insert(row);
+  }
+  // Every insert entered the skyline (then died); none were compacted.
+  EXPECT_EQ(stream.resident_rows(), 200u);
+  EXPECT_EQ(stream.stats().compactions, 0u);
+  EXPECT_EQ(stream.skyline_size(), 1u);
+}
+
+/// Two-phase drift stream: bootstrap and references come from the
+/// far-from-origin box, then the stream moves to the near-origin box.
+/// Every phase-2 point dominates all frozen references, so all masks
+/// collapse to the full subspace and the index stops pruning — until
+/// the adaptive re-reference kicks in.
+Dataset MakeDriftDataset(std::size_t phase1, std::size_t phase2,
+                         Dim d, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Value> far(0.5, 1.0);
+  std::uniform_real_distribution<Value> near(0.0, 0.5);
+  std::vector<Value> values;
+  values.reserve((phase1 + phase2) * d);
+  for (std::size_t i = 0; i < phase1 * d; ++i) values.push_back(far(rng));
+  for (std::size_t i = 0; i < phase2 * d; ++i) values.push_back(near(rng));
+  return Dataset(d, std::move(values));
+}
+
+TEST(StreamingAdaptTest, RefreezesWhenReferenceSetDrifts) {
+  Dataset data = MakeDriftDataset(1000, 3000, 4, 31);
+  StreamingOptions options;
+  options.bootstrap_size = 64;
+  options.adapt_interval = 256;
+  StreamingSkyline stream = Feed(data, options);
+  EXPECT_GE(stream.stats().refreezes, 1u);
+  // Adaptation must not change the answer.
+  EXPECT_TRUE(SameIdSet(stream.Skyline(), ReferenceSkyline(data)));
+  // After re-freezing, the references come from the drifted skyline.
+  for (PointId ref : stream.reference_points()) {
+    EXPECT_GE(ref, 1000u) << "reference still from the stale phase";
+  }
+}
+
+TEST(StreamingAdaptTest, RefreezeRestoresPruningPower) {
+  Dataset data = MakeDriftDataset(1000, 3000, 4, 33);
+  StreamingOptions adaptive;
+  adaptive.bootstrap_size = 64;
+  adaptive.adapt_interval = 256;
+  StreamingOptions frozen = adaptive;
+  frozen.adapt_interval = 0;  // adaptation off
+  StreamingSkyline with = Feed(data, adaptive);
+  StreamingSkyline without = Feed(data, frozen);
+  ASSERT_GE(with.stats().refreezes, 1u);
+  ASSERT_EQ(without.stats().refreezes, 0u);
+  // Same answer, far fewer candidate retrievals once re-frozen.
+  EXPECT_TRUE(SameIdSet(with.Skyline(), without.Skyline()));
+  EXPECT_LT(static_cast<double>(with.stats().index_candidates),
+            static_cast<double>(without.stats().index_candidates) * 0.8);
+}
+
+TEST(StreamingAdaptTest, NoRefreezeOnStationaryStream) {
+  // A stationary distribution must not trip the degradation trigger.
+  Dataset data = Generate(DataType::kUniformIndependent, 4000, 6, 35);
+  StreamingOptions options;
+  options.adapt_interval = 256;
+  StreamingSkyline stream = Feed(data, options);
+  EXPECT_EQ(stream.stats().refreezes, 0u);
 }
 
 }  // namespace

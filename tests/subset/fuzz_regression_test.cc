@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "fuzz/harness_csv.h"
 #include "fuzz/harness_merge.h"
 #include "fuzz/harness_subset_index.h"
 #include "fuzz/harness_subspace.h"
@@ -19,6 +22,7 @@
 namespace skyline {
 namespace {
 
+using fuzz::RunCsvFuzzInput;
 using fuzz::RunMergeFuzzInput;
 using fuzz::RunSubsetIndexFuzzInput;
 using fuzz::RunSubspaceFuzzInput;
@@ -82,6 +86,73 @@ TEST(FuzzRegressionTest, SubsetIndexCorpusOps) {
       4, 0,              // Remove (oracle-checked branch)
   };
   RunSubsetIndexFuzzInput(input.data(), input.size());
+}
+
+// fuzz/corpus/subset_index/seed-reclaim.bin: add/remove churn on shared
+// and private paths followed by Compact — the node-reclamation oracle
+// (num_nodes == distinct live reversed-path prefixes) after every op.
+TEST(FuzzRegressionTest, SubsetIndexCorpusReclaim) {
+  const std::vector<std::uint8_t> input = {
+      7,                 // nd = 8
+      0, 1, 0b1100, 0,   // Add id=1 mask={2,3}
+      0, 2, 0b1010, 0,   // Add id=2 mask={1,3} (shares reversed prefix)
+      4, 1, 1, 0,        // Remove a stored entry (oracle branch)
+      8,                 // Compact: must find nothing to prune
+      4, 1, 0, 0,        // Remove again
+      8,                 // Compact on the emptier tree
+      5, 0, 0,           // Query {} returns the survivors
+  };
+  RunSubsetIndexFuzzInput(input.data(), input.size());
+}
+
+// fuzz/corpus/csv/seed-nonfinite.bin: a nan field must be rejected, not
+// parsed into the dataset (from_chars accepts "nan" as a double).
+TEST(FuzzRegressionTest, CsvCorpusNonFinite) {
+  const std::string text = "\x01"
+                           "1,2\n3,nan\n";
+  RunCsvFuzzInput(reinterpret_cast<const std::uint8_t*>(text.data()),
+                  text.size());
+}
+
+// fuzz/corpus/csv/seed-precision.bin: 17-significant-digit values that
+// a 6-digit formatter corrupts; the round-trip must be bit-exact.
+TEST(FuzzRegressionTest, CsvCorpusPrecision) {
+  const std::string text =
+      "\x01"
+      "0.1,0.333333333333333314829616256247390992939472198486328125\n"
+      "1e-300,1e300\n";
+  RunCsvFuzzInput(reinterpret_cast<const std::uint8_t*>(text.data()),
+                  text.size());
+}
+
+// fuzz/corpus/csv/seed-roundtrip.bin equivalent: raw doubles including
+// subnormals and 2^53+1 through the writer/reader cycle.
+TEST(FuzzRegressionTest, CsvCorpusAwkwardDoubles) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           1e-300,
+                           1.0000001,
+                           123456.789012345,
+                           -2.2250738585072014e-308,
+                           9007199254740993.0,
+                           1e300};
+  std::vector<std::uint8_t> input = {0x00, 0x03};  // round-trip mode, nd=4
+  for (const double v : values) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      input.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+  }
+  RunCsvFuzzInput(input.data(), input.size());
+}
+
+TEST(FuzzRegressionTest, CsvShortRandomSweep) {
+  std::mt19937_64 rng(0xC57);
+  for (int i = 0; i < 300; ++i) {
+    const auto input = RandomBytes(rng, 160);
+    RunCsvFuzzInput(input.data(), input.size());
+  }
 }
 
 TEST(FuzzRegressionTest, SubspaceShortRandomSweep) {

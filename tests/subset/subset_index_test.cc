@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <random>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace skyline {
@@ -446,11 +449,143 @@ TEST(SubsetIndexEdgeTest, SingleEntryRemoveRoundTrip) {
   std::vector<PointId> out;
   index.Query(Subspace{}, &out);
   EXPECT_TRUE(out.empty());
-  // Nodes are deliberately not reclaimed; re-adding reuses the path.
-  const std::size_t nodes_after_remove = index.num_nodes();
+  // Removing the last entry of a path reclaims the emptied nodes, so a
+  // long add/remove stream cannot leak tree structure.
+  EXPECT_EQ(index.num_nodes(), 0u);
+  EXPECT_EQ(index.Compact(), 0u);  // eager reclamation left nothing behind
   index.Add(9, Subspace{0, 2});
-  EXPECT_EQ(index.num_nodes(), nodes_after_remove);
+  EXPECT_EQ(index.num_nodes(), 2u);  // reversed path {1,3} re-created
   EXPECT_EQ(index.num_points(), 1u);
+}
+
+TEST(SubsetIndexReclaimTest, RemoveReclaimsOnlyUnsharedNodes) {
+  SubsetIndex index(8);
+  // Reversed paths {0,1} and {0,2} share the prefix node 0.
+  index.Add(1, Subspace({0, 1}).Complement(8));
+  index.Add(2, Subspace({0, 2}).Complement(8));
+  ASSERT_EQ(index.num_nodes(), 3u);
+  EXPECT_TRUE(index.Remove(1, Subspace({0, 1}).Complement(8)));
+  // Node 0->1 dies with its last point; the shared prefix 0 and node
+  // 0->2 stay alive.
+  EXPECT_EQ(index.num_nodes(), 2u);
+  EXPECT_TRUE(index.Remove(2, Subspace({0, 2}).Complement(8)));
+  EXPECT_EQ(index.num_nodes(), 0u);
+  EXPECT_EQ(index.num_points(), 0u);
+}
+
+TEST(SubsetIndexReclaimTest, RemoveKeepsNodesWithRemainingPoints) {
+  SubsetIndex index(6);
+  index.Add(1, Subspace{2, 4});
+  index.Add(2, Subspace{2, 4});  // same path, two points
+  const std::size_t nodes = index.num_nodes();
+  EXPECT_TRUE(index.Remove(1, Subspace{2, 4}));
+  EXPECT_EQ(index.num_nodes(), nodes);  // node still holds id 2
+  EXPECT_TRUE(index.Remove(2, Subspace{2, 4}));
+  EXPECT_EQ(index.num_nodes(), 0u);
+}
+
+TEST(SubsetIndexReclaimTest, RemoveKeepsInteriorNodesWithLiveChildren) {
+  SubsetIndex index(8);
+  // Reversed path {1} is a prefix of reversed path {1,3}.
+  index.Add(1, Subspace({1}).Complement(8));
+  index.Add(2, Subspace({1, 3}).Complement(8));
+  ASSERT_EQ(index.num_nodes(), 2u);
+  // Removing the interior entry must not drop the node: its child is
+  // still reachable.
+  EXPECT_TRUE(index.Remove(1, Subspace({1}).Complement(8)));
+  EXPECT_EQ(index.num_nodes(), 2u);
+  std::vector<PointId> out;
+  index.Query(Subspace{}, &out);
+  EXPECT_EQ(out, std::vector<PointId>{2});
+  EXPECT_TRUE(index.Remove(2, Subspace({1, 3}).Complement(8)));
+  EXPECT_EQ(index.num_nodes(), 0u);
+}
+
+TEST(SubsetIndexReclaimTest, InterleavedOpsKeepAccountingAndNeverResurrect) {
+  // Random Add/Remove/MergeFrom/QueryContained interleaving, with an
+  // exact node-count oracle (distinct non-empty prefixes of the live
+  // reversed paths) and the guarantee that a removed id never reappears
+  // in either query direction. Runs the SKYLINE_CHECKS shadow oracle in
+  // checked builds.
+  const Dim d = 10;
+  const std::uint64_t space = Subspace::Full(d).bits();
+  std::mt19937_64 rng(97);
+  SubsetIndex index(d);
+  std::vector<std::pair<PointId, std::uint64_t>> live;
+  PointId next_id = 0;
+
+  const auto expected_nodes = [&] {
+    std::set<std::uint64_t> prefixes;
+    for (const auto& [id, bits] : live) {
+      (void)id;
+      std::uint64_t prefix = 0;
+      Subspace(bits).Complement(d).ForEachDim([&](Dim dim) {
+        prefix |= std::uint64_t{1} << dim;
+        prefixes.insert(prefix);
+      });
+    }
+    return prefixes.size();
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    switch (rng() % 4) {
+      case 0: {  // Add
+        const Subspace mask(rng() & space);
+        index.Add(next_id, mask);
+        live.emplace_back(next_id, mask.bits());
+        ++next_id;
+        break;
+      }
+      case 1: {  // Remove a live entry
+        if (live.empty()) break;
+        const std::size_t pick = rng() % live.size();
+        ASSERT_TRUE(index.Remove(live[pick].first, Subspace(live[pick].second)));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        break;
+      }
+      case 2: {  // MergeFrom a small batch built on the side
+        SubsetIndex batch(d);
+        const int batch_size = static_cast<int>(rng() % 4);
+        for (int i = 0; i < batch_size; ++i) {
+          const Subspace mask(rng() & space);
+          batch.Add(next_id, mask);
+          live.emplace_back(next_id, mask.bits());
+          ++next_id;
+        }
+        index.MergeFrom(std::move(batch));
+        break;
+      }
+      case 3: {  // QueryContained vs linear subset scan
+        const Subspace probe(rng() & space);
+        std::vector<PointId> got, want;
+        index.QueryContained(probe, &got);
+        for (const auto& [id, bits] : live) {
+          if (Subspace(bits).IsSubsetOf(probe)) want.push_back(id);
+        }
+        ASSERT_EQ(Sorted(got), Sorted(want)) << "step " << step;
+        break;
+      }
+    }
+    ASSERT_EQ(index.num_points(), live.size()) << "step " << step;
+    ASSERT_EQ(index.num_nodes(), expected_nodes()) << "step " << step;
+  }
+
+  // Drain everything: removed ids must never come back, node count must
+  // reach exactly zero (full reclamation).
+  while (!live.empty()) {
+    const auto [id, bits] = live.back();
+    live.pop_back();
+    ASSERT_TRUE(index.Remove(id, Subspace(bits)));
+    std::vector<PointId> got;
+    index.Query(Subspace{}, &got);  // weakest probe returns every stored id
+    EXPECT_EQ(std::count(got.begin(), got.end(), id),
+              static_cast<std::ptrdiff_t>(
+                  std::count_if(live.begin(), live.end(),
+                                [&](const auto& e) { return e.first == id; })));
+  }
+  EXPECT_EQ(index.num_nodes(), 0u);
+  EXPECT_EQ(index.num_points(), 0u);
+  EXPECT_EQ(index.Compact(), 0u);
 }
 
 }  // namespace
