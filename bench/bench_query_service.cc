@@ -1,0 +1,226 @@
+// Query-service scenario set for the CI perf gate: a Zipf-skewed
+// subspace-query mix over the paper's three data families, answered by
+// the memoizing QueryService vs. cold per-query recomputation with the
+// same subset-boosted engine.
+//
+// The query stream is deterministic given the seed (Zipf ranks over a
+// seeded shuffle of the cuboid lattice), the service runs the stream
+// single-threaded, and every engine in the chain is deterministic — so
+// the dominance-test records below are exact and hard-gated by
+// scripts/check_perf.py. Wall time and the latency percentiles are
+// advisory.
+//
+// Records per scenario (dt_per_point semantics in brackets):
+//
+//   query-service    [dominance tests / query, pinned full-space
+//                     construction included]
+//   query-cold       [dominance tests / query when every query
+//                     recomputes from scratch]
+//   query-speedup    [cold / service dominance-test ratio — the paper's
+//                     sharing win; must stay >= 5, also enforced here]
+//   query-hit-pct    [cache hits per 100 queries]
+//   query-seeded-pct [ancestor-seeded misses per 100 queries]
+//
+// Every service answer is verified against SubspaceSkyline before being
+// reported, so the perf pipeline doubles as an equivalence check.
+//
+// Usage: bench_query_service [--quick|--full] [--seed=N] [--json=PATH]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/verify.h"
+#include "src/harness/histogram.h"
+#include "src/query/query_service.h"
+#include "src/skycube/skycube.h"
+
+namespace {
+
+using namespace skyline;
+
+/// Deterministic Zipf(s=1) sampler over `universe` ranks: rank r is
+/// drawn with probability proportional to 1/(r+1).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t universe, std::uint64_t seed) : rng_(seed) {
+    cumulative_.reserve(universe);
+    double total = 0;
+    for (std::size_t r = 0; r < universe; ++r) {
+      total += 1.0 / static_cast<double>(r + 1);
+      cumulative_.push_back(total);
+    }
+  }
+
+  std::size_t Next() {
+    std::uniform_real_distribution<double> uniform(0.0, cumulative_.back());
+    const double u = uniform(rng_);
+    return static_cast<std::size_t>(
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+        cumulative_.begin());
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  std::vector<double> cumulative_;
+};
+
+/// The query mix: Zipf-ranked over a seeded shuffle of all non-empty
+/// subspaces, so the hot set spans sizes 1..d rather than low masks.
+std::vector<Subspace> MakeQueryStream(Dim d, std::size_t num_queries,
+                                      std::uint64_t seed) {
+  std::vector<std::uint64_t> masks;
+  for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << d); ++bits) {
+    masks.push_back(bits);
+  }
+  std::mt19937_64 shuffle_rng(seed ^ 0x5ca1ab1e);
+  std::shuffle(masks.begin(), masks.end(), shuffle_rng);
+  ZipfSampler zipf(masks.size(), seed ^ 0xbeefcafe);
+  std::vector<Subspace> stream;
+  stream.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    stream.push_back(Subspace(masks[zipf.Next()]));
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const std::size_t n = opts.full ? 100000 : (opts.quick ? 2000 : 10000);
+  const Dim d = opts.quick ? 6 : 8;
+  const std::size_t num_queries = opts.quick ? 2000 : 5000;
+
+  std::cout << "# Query service — Zipf query mix, n=" << n << ", d="
+            << static_cast<unsigned>(d) << ", queries=" << num_queries
+            << ", seed=" << opts.seed << "\n\n";
+
+  JsonReport report("bench_query_service");
+  TextTable table({"Scenario", "DT/query (svc)", "DT/query (cold)", "speedup",
+                   "hit%", "seeded%", "evict", "RT (ms)"});
+
+  for (DataType type : {DataType::kUniformIndependent, DataType::kCorrelated,
+                        DataType::kAntiCorrelated}) {
+    const Dataset data = Generate(type, n, d, opts.seed);
+    const std::vector<Subspace> stream =
+        MakeQueryStream(d, num_queries, opts.seed);
+
+    // Cold baseline: per-query recomputation with the same engine the
+    // service uses. Tests are deterministic per distinct cuboid, so the
+    // 2^d - 1 distinct computes are weighted by stream frequency rather
+    // than re-run per occurrence.
+    std::vector<std::uint64_t> occurrences(std::size_t{1} << d, 0);
+    for (Subspace v : stream) ++occurrences[v.bits()];
+    QueryServiceOptions cold_options;
+    cold_options.pin_full_space = false;
+    double cold_total_tests = 0;
+    double cold_rt_ms = 0;
+    for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << d); ++bits) {
+      if (occurrences[bits] == 0) continue;
+      QueryServiceOptions one_shot = cold_options;
+      one_shot.max_entries = 1;
+      QueryService cold_service(data, one_shot);
+      const auto start = std::chrono::steady_clock::now();
+      cold_service.Query(Subspace(bits));
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      const double tests = static_cast<double>(
+          cold_service.Stats().cold_tests);
+      cold_total_tests += tests * static_cast<double>(occurrences[bits]);
+      cold_rt_ms += ms * static_cast<double>(occurrences[bits]);
+    }
+
+    // The service: bounded cache, pinned full space, one warm pass over
+    // the whole stream (single-threaded for deterministic counters).
+    // Capacity covers the Zipf head but leaves the tail churning, so
+    // eviction + re-seeding stay on the measured path. On AC data a
+    // miss is expensive (the full-space seed is near-total), so the
+    // cache must hold most of the lattice to amortize it.
+    QueryServiceOptions options;
+    options.max_entries = opts.quick ? 56 : 192;
+    QueryService service(data, options);
+    const auto start = std::chrono::steady_clock::now();
+    for (Subspace v : stream) {
+      service.Query(v);
+    }
+    const double service_rt_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    // Counters frozen before the equivalence sweep issues extra queries.
+    const QueryStatsSnapshot stats = service.Stats();
+
+    // Equivalence check before anything is reported.
+    for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << d); ++bits) {
+      if (occurrences[bits] == 0) continue;
+      if (service.Query(Subspace(bits)) !=
+          SubspaceSkyline(data, Subspace(bits))) {
+        std::cerr << "[bench_query_service] service answer differs from "
+                  << "SubspaceSkyline on cuboid "
+                  << Subspace(bits).ToString() << "\n";
+        return 1;
+      }
+    }
+
+    const double q = static_cast<double>(num_queries);
+    const double service_tests =
+        static_cast<double>(stats.dominance_tests());
+    const double service_dt = service_tests / q;
+    const double cold_dt = cold_total_tests / q;
+    const double speedup = service_tests > 0 ? cold_total_tests / service_tests
+                                             : 0;
+    const double hit_pct =
+        100.0 * static_cast<double>(stats.hits) / static_cast<double>(
+            stats.queries);
+    const double seeded_pct =
+        100.0 * static_cast<double>(stats.seeded) / static_cast<double>(
+            stats.queries);
+
+    const std::string label = bench::ScenarioLabel(type, n, d, opts.seed);
+    const std::size_t full_size =
+        service.Query(Subspace::Full(d)).size();
+    table.AddRow({label, TextTable::FormatNumber(service_dt),
+                  TextTable::FormatNumber(cold_dt),
+                  TextTable::FormatNumber(speedup),
+                  TextTable::FormatNumber(hit_pct),
+                  TextTable::FormatNumber(seeded_pct),
+                  std::to_string(stats.evictions),
+                  TextTable::FormatNumber(service_rt_ms)});
+    PrintLatencySummary(std::cout, "  " + label + " latency", stats.latency);
+
+    // The acceptance gate of the serving layer: the memoizing service
+    // must beat cold per-query recomputation by >= 5x in dominance
+    // tests on the repeated (Zipf) mix.
+    if (speedup < 5.0) {
+      std::cerr << "[bench_query_service] " << label << ": speedup "
+                << speedup << " fell below the 5x gate\n";
+      return 1;
+    }
+
+    report.Add({"", label, "query-service", n, d, opts.seed, 1, service_dt,
+                service_rt_ms, full_size});
+    report.Add({"", label, "query-cold", n, d, opts.seed, 1, cold_dt,
+                cold_rt_ms, full_size});
+    report.Add({"", label, "query-speedup", n, d, opts.seed, 1, speedup,
+                0.0, full_size});
+    report.Add({"", label, "query-hit-pct", n, d, opts.seed, 1, hit_pct,
+                0.0, full_size});
+    report.Add({"", label, "query-seeded-pct", n, d, opts.seed, 1,
+                seeded_pct, 0.0, full_size});
+    std::cerr << "  [query] " << label << " done (speedup "
+              << TextTable::FormatNumber(speedup) << "x)\n";
+  }
+
+  table.Print(std::cout,
+              "Query service: memoized cuboid cache vs cold recomputation");
+  std::cout << '\n';
+  return bench::FinishJson(opts, report);
+}

@@ -1,13 +1,16 @@
-// Subspace-skyline example: materialize the skycube of a small hotel
-// table once, then answer "best hotels if you only care about ..."
-// queries for every attribute combination from the cube.
+// Subspace-skyline example: stand up a QueryService over a small hotel
+// table and answer "best hotels if you only care about ..." queries —
+// the full lattice once, then a repeat-heavy stream that the memoized
+// cuboid cache absorbs. The stats printout at the end shows the cache
+// doing the work: hits for repeats, ancestor-seeded computes for first
+// encounters, and only the pinned full-space cuboid paid cold.
 //
 //   $ ./build/examples/subspace_queries
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "src/skycube/skycube.h"
+#include "src/query/query_service.h"
 
 int main() {
   using namespace skyline;
@@ -22,13 +25,9 @@ int main() {
       {90, 0.9, 3},  {75, 0.8, 6},
   });
 
-  Skycube cube = Skycube::Compute(hotels);
-  std::cout << "skycube of " << hotels.num_points() << " hotels over "
-            << cube.num_cuboids() << " attribute combinations ("
-            << cube.total_size() << " entries total)\n\n";
+  QueryService service(hotels);  // Pins the full-space skyline as seed.
 
-  for (std::uint64_t bits = 1; bits < (1u << hotels.num_dims()); ++bits) {
-    const Subspace v(bits);
+  const auto describe = [&](Subspace v) {
     std::cout << "minimize {";
     bool first = true;
     v.ForEachDim([&](Dim i) {
@@ -37,11 +36,31 @@ int main() {
     });
     std::cout << "}: ";
     first = true;
-    for (PointId id : cube.skyline(v)) {
+    for (PointId id : service.Query(v)) {
       std::cout << (first ? "" : ", ") << names[id];
       first = false;
     }
     std::cout << "\n";
+  };
+
+  std::cout << "subspace skylines of " << hotels.num_points()
+            << " hotels, served from the memoized cuboid cache\n\n";
+  for (std::uint64_t bits = 1; bits < (1u << hotels.num_dims()); ++bits) {
+    describe(Subspace(bits));
   }
+
+  // A repeat-heavy follow-up stream: every one of these is a cache hit.
+  std::cout << "\nrepeat queries (served from cache):\n";
+  describe(Subspace(0b011));  // price + distance again
+  describe(Subspace(0b101));  // price + noise again
+  describe(Subspace(0b011));  // and price + distance once more
+
+  const QueryStatsSnapshot stats = service.Stats();
+  std::cout << "\nservice stats: " << stats.queries << " queries, "
+            << stats.hits << " hits, " << stats.seeded
+            << " ancestor-seeded computes, " << stats.cold
+            << " cold computes (+1 pinned full space), "
+            << stats.dominance_tests() << " dominance tests total\n";
+  PrintLatencySummary(std::cout, "query latency", stats.latency);
   return 0;
 }

@@ -1,0 +1,10 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness_query_service.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  skyline::fuzz::RunQueryServiceFuzzInput(data, size);
+  return 0;
+}

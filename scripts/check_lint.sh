@@ -11,7 +11,8 @@
 #   L3  no `using namespace` in any header
 #   L4  project-relative includes must be rooted ("src/..." / "fuzz/...")
 #   L5  no <iostream> in the library's compute layers (core, subset,
-#       parallel, algo) — printing belongs to the harness/examples
+#       parallel, algo, query) — printing belongs to the
+#       harness/examples
 #
 # Usage: scripts/check_lint.sh
 set -euo pipefail
@@ -55,7 +56,7 @@ done < <(grep -rn --include='*.h' --include='*.cc' '#include "' src/ fuzz/ |
 while IFS= read -r match; do
   report L5 "$match: <iostream> is banned in the compute layers"
 done < <(grep -rln --include='*.h' --include='*.cc' '<iostream>' \
-         src/core src/subset src/parallel src/algo 2> /dev/null || true)
+         src/core src/subset src/parallel src/algo src/query 2> /dev/null || true)
 
 if [ "$fail" -ne 0 ]; then
   echo "Custom lint FAILED." >&2

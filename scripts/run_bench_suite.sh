@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Standardized perf scenario set: runs the kernel microbench, the
-# subset-suite bench and the streaming bench on the fixed scenarios
-# (seed 42) and writes the machine-readable reports
+# subset-suite bench, the streaming bench and the query-service bench
+# on the fixed scenarios (seed 42) and writes the machine-readable
+# reports
 #
 #   BENCH_kernels.json     (bench_kernels)
 #   BENCH_subset.json      (bench_subset_suite)
 #   BENCH_streaming.json   (bench_streaming)
+#   BENCH_query.json       (bench_query_service)
 #
 # to the output directory (default: repo root), so the perf trajectory
 # is diffable PR-over-PR. CI (the perf-smoke job) runs this with
@@ -38,7 +40,8 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-BENCHES=(bench_kernels bench_subset_suite bench_streaming)
+BENCHES=(bench_kernels bench_subset_suite bench_streaming
+         bench_query_service)
 
 missing=0
 for bench in "${BENCHES[@]}"; do
@@ -63,5 +66,9 @@ echo "==== bench_streaming ${SCALE:-(reduced)} ===="
 "$BUILD_DIR/bench/bench_streaming" $SCALE \
   --json="$OUT_DIR/BENCH_streaming.json"
 
-echo "Wrote $OUT_DIR/BENCH_kernels.json, $OUT_DIR/BENCH_subset.json" \
-     "and $OUT_DIR/BENCH_streaming.json"
+echo "==== bench_query_service ${SCALE:-(reduced)} ===="
+"$BUILD_DIR/bench/bench_query_service" $SCALE \
+  --json="$OUT_DIR/BENCH_query.json"
+
+echo "Wrote $OUT_DIR/BENCH_kernels.json, $OUT_DIR/BENCH_subset.json," \
+     "$OUT_DIR/BENCH_streaming.json and $OUT_DIR/BENCH_query.json"

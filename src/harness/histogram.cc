@@ -1,6 +1,7 @@
 #include "src/harness/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <ostream>
 
@@ -30,6 +31,62 @@ void PrintHistogram(std::ostream& out, const std::string& title,
         << std::string(static_cast<std::size_t>(bar), '#') << ' '
         << histogram[s] << '\n';
   }
+}
+
+int LatencyHistogram::BucketOf(std::uint64_t nanos) {
+  if (nanos < 2) return 0;
+  const int b = std::bit_width(nanos) - 1;
+  return std::min(b, kBuckets - 1);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  for (int b = 0; b < kBuckets; ++b) {
+    snap.counts[b] = counts_[b].load(std::memory_order_relaxed);
+    snap.total += snap.counts[b];
+  }
+  return snap;
+}
+
+std::uint64_t LatencyHistogram::Snapshot::PercentileNanos(double p) const {
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank && counts[b] > 0) {
+      // Upper bound of bucket b: 2^(b+1) - 1 ns (bucket 0: 1 ns).
+      return (std::uint64_t{2} << b) - 1;
+    }
+  }
+  return (std::uint64_t{2} << (kBuckets - 1)) - 1;
+}
+
+namespace {
+
+std::string FormatNanos(std::uint64_t nanos) {
+  if (nanos >= 1000000000) {
+    return std::to_string(nanos / 1000000000) + "s";
+  }
+  if (nanos >= 1000000) return std::to_string(nanos / 1000000) + "ms";
+  if (nanos >= 1000) return std::to_string(nanos / 1000) + "us";
+  return std::to_string(nanos) + "ns";
+}
+
+}  // namespace
+
+void PrintLatencySummary(std::ostream& out, const std::string& title,
+                         const LatencyHistogram::Snapshot& snapshot) {
+  out << title << ": n=" << snapshot.total;
+  if (snapshot.total > 0) {
+    out << "  p50<=" << FormatNanos(snapshot.PercentileNanos(50))
+        << "  p90<=" << FormatNanos(snapshot.PercentileNanos(90))
+        << "  p99<=" << FormatNanos(snapshot.PercentileNanos(99))
+        << "  max<=" << FormatNanos(snapshot.PercentileNanos(100));
+  }
+  out << '\n';
 }
 
 }  // namespace skyline

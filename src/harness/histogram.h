@@ -1,9 +1,19 @@
-// Subspace-size histograms — the quantity plotted in Figures 2 and 6 of
+// Histograms of the harness layer.
+//
+// SubspaceSizeHistogram — the quantity plotted in Figures 2 and 6 of
 // the paper: how many (non-pruned) points carry a maximum dominating
 // subspace of each size 1..d.
+//
+// LatencyHistogram — a lock-free log2-bucketed latency recorder for the
+// concurrent serving layer (src/query): Record() is a single relaxed
+// atomic increment, so it is safe and cheap to call from any number of
+// query threads; snapshots are taken without stopping recorders.
 #ifndef SKYLINE_HARNESS_HISTOGRAM_H_
 #define SKYLINE_HARNESS_HISTOGRAM_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -21,6 +31,46 @@ std::vector<std::size_t> SubspaceSizeHistogram(
 /// ASCII bar, as a stand-in for the paper's bar charts.
 void PrintHistogram(std::ostream& out, const std::string& title,
                     const std::vector<std::size_t>& histogram);
+
+/// Thread-safe latency histogram with power-of-two nanosecond buckets.
+///
+/// Bucket b counts samples with floor(log2(ns)) == b (bucket 0 holds
+/// 0 ns and 1 ns); the top bucket absorbs everything beyond ~9 minutes.
+/// Percentiles are reported as the upper bound of the bucket holding the
+/// requested rank, so they over- rather than under-estimate.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  /// An immutable copy of the counters, for reporting.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+
+    /// Upper bucket bound (in nanoseconds) of the p-th percentile,
+    /// p in [0, 100]; 0 when no samples were recorded.
+    std::uint64_t PercentileNanos(double p) const;
+  };
+
+  /// Records one sample. Safe to call concurrently with other Record
+  /// and Snap calls.
+  void Record(std::uint64_t nanos) {
+    counts_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Snapshot Snap() const;
+
+  /// Bucket index of a sample; exposed for tests.
+  static int BucketOf(std::uint64_t nanos);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+};
+
+/// Renders a latency snapshot as a p50/p90/p99/max line (values scaled
+/// to the most readable unit).
+void PrintLatencySummary(std::ostream& out, const std::string& title,
+                         const LatencyHistogram::Snapshot& snapshot);
 
 }  // namespace skyline
 

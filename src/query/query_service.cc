@@ -1,0 +1,259 @@
+#include "src/query/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/core/contracts.h"
+#include "src/parallel/parallel_subset.h"
+#include "src/skycube/skycube.h"
+#include "src/subset/boosted.h"
+
+namespace skyline {
+
+QueryService::QueryService(const Dataset& data, QueryServiceOptions options)
+    : data_(data), options_(std::move(options)) {
+  SKYLINE_ASSERT(options_.max_entries >= 1,
+                 "QueryService: max_entries must be at least 1");
+  if (!options_.pin_full_space) return;
+  const Subspace full = Subspace::Full(data_.num_dims());
+  std::uint64_t tests = 0;
+  auto entry = std::make_shared<Entry>();
+  entry->pinned = true;
+  entry->ids = ComputeCold(full, &tests);
+  cold_tests_.fetch_add(tests, std::memory_order_relaxed);
+  entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  entry->ready.store(true, std::memory_order_release);
+  pinned_entries_ = 1;
+  pinned_ids_ = entry->ids.size();
+  cache_.emplace(full.bits(), std::move(entry));
+}
+
+std::vector<PointId> QueryService::AwaitAndCopy(const EntryPtr& entry) {
+  if (!entry->ready.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> lock(entry->mu);
+    entry->cv.wait(lock, [&] {
+      return entry->ready.load(std::memory_order_acquire);
+    });
+  }
+  entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  return entry->ids;  // Immutable once ready; copy is race-free.
+}
+
+QueryService::EntryPtr QueryService::FindBestAncestor(
+    Subspace v, Subspace* ancestor_subspace) const {
+  EntryPtr best;
+  Subspace best_subspace;
+  for (const auto& [bits, entry] : cache_) {
+    const Subspace u(bits);
+    if (!v.IsSubsetOf(u)) continue;
+    if (!entry->ready.load(std::memory_order_acquire)) continue;
+    if (best == nullptr || entry->ids.size() < best->ids.size() ||
+        (entry->ids.size() == best->ids.size() &&
+         u.size() < best_subspace.size())) {
+      best = entry;
+      best_subspace = u;
+    }
+  }
+  if (best != nullptr && ancestor_subspace != nullptr) {
+    *ancestor_subspace = best_subspace;
+  }
+  return best;
+}
+
+std::vector<PointId> QueryService::ComputeCold(Subspace v,
+                                               std::uint64_t* tests) const {
+  if (data_.num_points() == 0) return {};
+  const Dataset projected = ProjectDataset(data_, v);
+  SkylineStats stats;
+  std::vector<PointId> ids;
+  if (projected.num_points() >= options_.parallel_cold_threshold) {
+    ParallelSubsetSfs engine(options_.threads, options_.algorithm);
+    ids = engine.Compute(projected, &stats);
+  } else {
+    SfsSubset engine(options_.algorithm);
+    ids = engine.Compute(projected, &stats);
+  }
+  if (tests != nullptr) *tests += stats.dominance_tests;
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<PointId> QueryService::ComputeSeededCore(
+    Subspace v, const std::vector<PointId>& candidates,
+    std::uint64_t* tests) const {
+  if (candidates.size() < options_.seeded_boost_threshold) {
+    return SubspaceSkylineOverCandidates(data_, v, candidates, tests);
+  }
+  // Large seed (e.g. a near-total anti-correlated full-space skyline):
+  // the O(|seed|^2) BNL loses to the subset-boosted engine on the
+  // projected candidate rows. Engine row ids index `candidates`.
+  const Dim pd = v.size();
+  std::vector<Value> values;
+  values.reserve(candidates.size() * pd);
+  for (PointId id : candidates) {
+    const Value* row = data_.row(id);
+    v.ForEachDim([&](Dim i) { values.push_back(row[i]); });
+  }
+  const Dataset projected(pd, std::move(values));
+  SkylineStats stats;
+  SfsSubset engine(options_.algorithm);
+  std::vector<PointId> local = engine.Compute(projected, &stats);
+  if (tests != nullptr) *tests += stats.dominance_tests;
+  std::vector<PointId> core;
+  core.reserve(local.size());
+  for (PointId id : local) core.push_back(candidates[id]);
+  return core;
+}
+
+void QueryService::PublishAndEvict(const EntryPtr& entry, std::uint64_t key,
+                                   std::vector<PointId> ids) {
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->ids = std::move(ids);
+    entry->ready.store(true, std::memory_order_release);
+  }
+  entry->cv.notify_all();
+
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  cached_ids_ += entry->ids.size();
+  entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+
+  auto over_budget = [&] {
+    const std::size_t unpinned = cache_.size() - pinned_entries_;
+    if (unpinned > options_.max_entries) return true;
+    return options_.max_total_ids != 0 && cached_ids_ > options_.max_total_ids;
+  };
+  while (over_budget()) {
+    // LRU victim among ready unpinned entries, the freshly published
+    // one excluded unless it is the only candidate left.
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      const EntryPtr& e = it->second;
+      if (e->pinned || e == entry) continue;
+      if (!e->ready.load(std::memory_order_acquire)) continue;
+      if (victim == cache_.end() ||
+          e->last_used.load(std::memory_order_relaxed) <
+              victim->second->last_used.load(std::memory_order_relaxed)) {
+        victim = it;
+      }
+    }
+    if (victim == cache_.end()) {
+      // Only in-flight entries (or the fresh one) remain; if the fresh
+      // entry alone busts the id budget, keeping it is the policy.
+      if (cache_.count(key) != 0 && cache_.size() - pinned_entries_ >
+                                        options_.max_entries) {
+        cached_ids_ -= entry->ids.size();
+        cache_.erase(key);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    cached_ids_ -= victim->second->ids.size();
+    cache_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<PointId> QueryService::Query(Subspace v) {
+  SKYLINE_ASSERT(!v.empty(), "Query: empty subspace");
+  SKYLINE_ASSERT(v.IsSubsetOf(Subspace::Full(data_.num_dims())),
+                 "Query: subspace outside the dataset's space");
+  const auto start = std::chrono::steady_clock::now();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  auto finish = [&](std::vector<PointId> ids) {
+    latency_.Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    return ids;
+  };
+
+  // Fast path: shared-lock lookup.
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = cache_.find(v.bits());
+    if (it != cache_.end()) {
+      EntryPtr entry = it->second;
+      const bool was_ready = entry->ready.load(std::memory_order_acquire);
+      lock.unlock();
+      if (was_ready) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return finish(AwaitAndCopy(entry));
+    }
+  }
+
+  // Miss: claim the cuboid (single-flight) and pick a seed.
+  EntryPtr entry;
+  EntryPtr ancestor;
+  Subspace ancestor_subspace;
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = cache_.find(v.bits());
+    if (it != cache_.end()) {
+      // Another thread claimed it between our two lookups.
+      EntryPtr existing = it->second;
+      const bool was_ready = existing->ready.load(std::memory_order_acquire);
+      lock.unlock();
+      if (was_ready) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return finish(AwaitAndCopy(existing));
+    }
+    entry = std::make_shared<Entry>();
+    cache_.emplace(v.bits(), entry);
+    ancestor = FindBestAncestor(v, &ancestor_subspace);
+  }
+
+  std::vector<PointId> ids;
+  std::uint64_t tests = 0;
+  if (ancestor != nullptr && ancestor_subspace != v) {
+    // Top-down sharing from the ancestor cuboid: V-skyline of the
+    // ancestor's ids, then the duplicate-projection tie repair.
+    const std::vector<PointId> core =
+        ComputeSeededCore(v, ancestor->ids, &tests);
+    ids = CloseUnderProjectionTies(data_, v, core);
+    seeded_.fetch_add(1, std::memory_order_relaxed);
+    seeded_tests_.fetch_add(tests, std::memory_order_relaxed);
+  } else {
+    ids = ComputeCold(v, &tests);
+    cold_.fetch_add(1, std::memory_order_relaxed);
+    cold_tests_.fetch_add(tests, std::memory_order_relaxed);
+  }
+
+  PublishAndEvict(entry, v.bits(), ids);
+  return finish(std::move(ids));
+}
+
+QueryStatsSnapshot QueryService::Stats() const {
+  QueryStatsSnapshot snap;
+  snap.queries = queries_.load(std::memory_order_relaxed);
+  snap.hits = hits_.load(std::memory_order_relaxed);
+  snap.coalesced = coalesced_.load(std::memory_order_relaxed);
+  snap.seeded = seeded_.load(std::memory_order_relaxed);
+  snap.cold = cold_.load(std::memory_order_relaxed);
+  snap.evictions = evictions_.load(std::memory_order_relaxed);
+  snap.seeded_tests = seeded_tests_.load(std::memory_order_relaxed);
+  snap.cold_tests = cold_tests_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    for (const auto& [bits, entry] : cache_) {
+      if (!entry->ready.load(std::memory_order_acquire)) continue;
+      ++snap.cache_entries;
+      snap.cache_ids += entry->ids.size();
+    }
+  }
+  snap.latency = latency_.Snap();
+  return snap;
+}
+
+}  // namespace skyline

@@ -1,0 +1,190 @@
+// Concurrent subspace-skyline query service with a memoized cuboid
+// cache — the serving layer over a fixed Dataset.
+//
+// A QueryService answers a stream of subspace-skyline queries ("best
+// hotels by price and rating only") without recomputing per query:
+//
+//   * Exact hit: the queried cuboid is cached; the id list is returned
+//     under a shared lock, with a single atomic LRU touch.
+//   * Seeded miss: the nearest cached ancestor cuboid U ⊇ V (fewest
+//     skyline ids) seeds the computation via the skycube top-down
+//     sharing scheme — sky_V over sky(U) followed by the
+//     duplicate-projection tie repair of src/skycube. Sound for ANY
+//     ancestor, not just a parent: a U-dominator chain from any point
+//     terminates in sky(U) without increasing any coordinate, so every
+//     V-skyline point either is in sky(U) or ties on V with a core
+//     member, and every core member is V-undominated globally.
+//   * Cold miss: no cached ancestor — the subset-boosted engine
+//     (sfs-subset, or the parallel partition + cross-filter engine
+//     beyond `parallel_cold_threshold` rows) computes the cuboid on the
+//     projected dataset.
+//
+// Concurrency: lookups take a shared lock; per-cuboid single-flight
+// means concurrent identical misses compute once (latecomers block on
+// the in-flight entry's condition variable, counted as `coalesced`).
+// Cached id lists are immutable once published, so hits copy them
+// without per-entry locking (release/acquire on the entry's `ready`
+// flag), and eviction only unlinks entries from the map — readers that
+// already hold the shared_ptr keep a valid snapshot.
+//
+// Eviction: bounded by entry count and (optionally) total cached ids;
+// least-recently-used ready entries are dropped first. The full-space
+// cuboid can be pinned (default) so every miss has a universal seed.
+#ifndef SKYLINE_QUERY_QUERY_SERVICE_H_
+#define SKYLINE_QUERY_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/algo/algorithm.h"
+#include "src/core/dataset.h"
+#include "src/core/subspace.h"
+#include "src/harness/histogram.h"
+
+namespace skyline {
+
+/// Tuning knobs of the QueryService cache.
+struct QueryServiceOptions {
+  /// Maximum number of cached cuboids, pinned entries excluded. At
+  /// least 1; the entry being inserted always fits.
+  std::size_t max_entries = 64;
+
+  /// Total cached id budget across all unpinned cuboids; 0 = unbounded.
+  /// When exceeded, LRU entries are evicted until the budget holds (the
+  /// most recent entry survives even if it alone exceeds the budget —
+  /// dropping fresh results would make hot big cuboids uncacheable).
+  std::size_t max_total_ids = 0;
+
+  /// Compute and pin the full-space cuboid at construction, so every
+  /// miss has a cached ancestor and the cold path is construction-only.
+  bool pin_full_space = true;
+
+  /// Cold computes on datasets with at least this many rows use the
+  /// parallel subset engine instead of the sequential one.
+  std::size_t parallel_cold_threshold = 100000;
+
+  /// Seeded misses with at least this many ancestor candidates run the
+  /// subset-boosted engine over the projected candidate rows instead of
+  /// the skycube BNL. Small seeds stay on the BNL, which wins when the
+  /// candidate set is already near the answer (the common parent→child
+  /// case); large seeds — e.g. a near-total anti-correlated full-space
+  /// skyline — would cost O(|seed|^2) there.
+  std::size_t seeded_boost_threshold = 256;
+
+  /// Worker threads for parallel cold computes; 0 = hardware pick.
+  unsigned threads = 0;
+
+  /// Options forwarded to the subset-boosted engines (sigma etc.).
+  AlgorithmOptions algorithm;
+};
+
+/// A plain, copyable snapshot of the service counters. All counts are
+/// cumulative since construction.
+struct QueryStatsSnapshot {
+  std::uint64_t queries = 0;     ///< Total Query() calls.
+  std::uint64_t hits = 0;        ///< Entry was ready on arrival.
+  std::uint64_t coalesced = 0;   ///< Waited on another thread's compute.
+  std::uint64_t seeded = 0;      ///< Misses computed from an ancestor.
+  std::uint64_t cold = 0;        ///< Misses computed from scratch.
+  std::uint64_t evictions = 0;   ///< Cuboids dropped by the LRU policy.
+  std::uint64_t seeded_tests = 0;  ///< Dominance tests on seeded misses.
+  std::uint64_t cold_tests = 0;    ///< Dominance tests on cold misses
+                                   ///< (pinned full-space included).
+  std::size_t cache_entries = 0;   ///< Ready cuboids currently cached.
+  std::size_t cache_ids = 0;       ///< Ids currently cached (incl. pinned).
+  LatencyHistogram::Snapshot latency;  ///< Per-Query() wall latency.
+
+  std::uint64_t misses() const { return coalesced + seeded + cold; }
+  std::uint64_t dominance_tests() const { return seeded_tests + cold_tests; }
+  double HitRate() const {
+    return queries == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(queries);
+  }
+};
+
+/// Thread-safe memoizing subspace-skyline server over one Dataset. The
+/// dataset must outlive the service and stay unmodified.
+class QueryService {
+ public:
+  explicit QueryService(const Dataset& data, QueryServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Ids of the skyline of the non-empty subspace `v` (which must lie
+  /// inside the dataset's space), ascending. Safe to call concurrently.
+  std::vector<PointId> Query(Subspace v);
+
+  /// Copies the current counters; safe to call concurrently.
+  QueryStatsSnapshot Stats() const;
+
+  const Dataset& data() const { return data_; }
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> ready{false};
+    std::atomic<std::uint64_t> last_used{0};
+    bool pinned = false;
+    std::vector<PointId> ids;  ///< Immutable once `ready`.
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// Waits until `entry` is published and returns a copy of its ids.
+  std::vector<PointId> AwaitAndCopy(const EntryPtr& entry);
+
+  /// Smallest ready cached cuboid whose subspace is a superset of `v`
+  /// (by id count, then by dimension count). Caller holds cache_mu_.
+  EntryPtr FindBestAncestor(Subspace v, Subspace* ancestor_subspace) const;
+
+  /// Computes sky(v) from scratch with the subset-boosted engine on the
+  /// projected dataset; adds the dominance tests spent to `tests`.
+  std::vector<PointId> ComputeCold(Subspace v, std::uint64_t* tests) const;
+
+  /// Computes the core of sky(v) over the ancestor `candidates`: the
+  /// skycube BNL below `seeded_boost_threshold` candidates, the
+  /// subset-boosted engine on the projected candidate rows at or above
+  /// it. Tie repair is the caller's job.
+  std::vector<PointId> ComputeSeededCore(Subspace v,
+                                         const std::vector<PointId>& candidates,
+                                         std::uint64_t* tests) const;
+
+  /// Publishes `ids` into `entry`, accounts the size, and evicts LRU
+  /// entries until the configured bounds hold again.
+  void PublishAndEvict(const EntryPtr& entry, std::uint64_t key,
+                       std::vector<PointId> ids);
+
+  const Dataset& data_;
+  const QueryServiceOptions options_;
+
+  mutable std::shared_mutex cache_mu_;
+  std::unordered_map<std::uint64_t, EntryPtr> cache_;  ///< Key: subspace bits.
+  std::size_t cached_ids_ = 0;      ///< Ids over ready unpinned entries.
+  std::size_t pinned_entries_ = 0;  ///< Ready pinned entries.
+  std::size_t pinned_ids_ = 0;
+
+  std::atomic<std::uint64_t> clock_{0};  ///< LRU stamp source.
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> seeded_{0};
+  std::atomic<std::uint64_t> cold_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> seeded_tests_{0};
+  std::atomic<std::uint64_t> cold_tests_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_QUERY_QUERY_SERVICE_H_

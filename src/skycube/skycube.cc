@@ -25,12 +25,9 @@ bool EqualInSubspace(const Value* a, const Value* b, Subspace subspace) {
   return equal;
 }
 
-namespace {
-
-/// BNL over the id list `candidates` under subspace dominance.
-std::vector<PointId> SubspaceBnl(const Dataset& data, Subspace subspace,
-                                 const std::vector<PointId>& candidates,
-                                 std::uint64_t* tests) {
+std::vector<PointId> SubspaceSkylineOverCandidates(
+    const Dataset& data, Subspace subspace,
+    const std::vector<PointId>& candidates, std::uint64_t* tests) {
   std::vector<PointId> window;
   std::uint64_t local_tests = 0;
   for (PointId p : candidates) {
@@ -57,6 +54,8 @@ std::vector<PointId> SubspaceBnl(const Dataset& data, Subspace subspace,
   return window;
 }
 
+namespace {
+
 /// Hash of the projection of a row onto a subspace (raw value bits).
 struct ProjectionHasher {
   const Dataset* data;
@@ -77,12 +76,47 @@ struct ProjectionHasher {
 
 }  // namespace
 
+std::vector<PointId> CloseUnderProjectionTies(
+    const Dataset& data, Subspace subspace,
+    const std::vector<PointId>& core) {
+  ProjectionHasher hasher{&data, subspace};
+  std::unordered_multimap<std::size_t, PointId> core_by_hash;
+  core_by_hash.reserve(core.size() * 2);
+  for (PointId p : core) core_by_hash.emplace(hasher.Hash(p), p);
+  std::vector<PointId> out;
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    const auto [begin, end] = core_by_hash.equal_range(hasher.Hash(p));
+    for (auto it = begin; it != end; ++it) {
+      if (EqualInSubspace(data.row(p), data.row(it->second), subspace)) {
+        out.push_back(p);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Dataset ProjectDataset(const Dataset& data, Subspace subspace) {
+  SKYLINE_ASSERT(!subspace.empty(), "ProjectDataset: empty subspace");
+  SKYLINE_ASSERT(subspace.IsSubsetOf(Subspace::Full(data.num_dims())),
+                 "ProjectDataset: subspace outside the dataset's space");
+  const Dim pd = subspace.size();
+  std::vector<Value> values;
+  values.reserve(data.num_points() * pd);
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    const Value* row = data.row(p);
+    subspace.ForEachDim([&](Dim i) { values.push_back(row[i]); });
+  }
+  return Dataset(pd, std::move(values));
+}
+
 std::vector<PointId> SubspaceSkyline(const Dataset& data, Subspace subspace,
                                      std::uint64_t* tests) {
   SKYLINE_ASSERT(!subspace.empty(), "SubspaceSkyline: empty subspace");
   std::vector<PointId> all(data.num_points());
   for (PointId i = 0; i < data.num_points(); ++i) all[i] = i;
-  std::vector<PointId> result = SubspaceBnl(data, subspace, all, tests);
+  std::vector<PointId> result =
+      SubspaceSkylineOverCandidates(data, subspace, all, tests);
   std::sort(result.begin(), result.end());
   return result;
 }
@@ -125,25 +159,12 @@ Skycube Skycube::Compute(const Dataset& data, SkycubeStrategy strategy,
     parent.Add(missing);
     const std::vector<PointId>& candidates = cube.cuboids_[parent.bits()];
 
-    // Skyline of the candidates under V...
-    std::vector<PointId> core = SubspaceBnl(data, subspace, candidates, tests);
-
-    // ...closed under V-projection equality over the whole dataset: a
-    // point that ties on V with a core member is equally non-dominated.
-    ProjectionHasher hasher{&data, subspace};
-    std::unordered_multimap<std::size_t, PointId> core_by_hash;
-    core_by_hash.reserve(core.size() * 2);
-    for (PointId p : core) core_by_hash.emplace(hasher.Hash(p), p);
-    std::vector<PointId>& out = cube.cuboids_[bits];
-    for (PointId p = 0; p < data.num_points(); ++p) {
-      const auto [begin, end] = core_by_hash.equal_range(hasher.Hash(p));
-      for (auto it = begin; it != end; ++it) {
-        if (EqualInSubspace(data.row(p), data.row(it->second), subspace)) {
-          out.push_back(p);
-          break;
-        }
-      }
-    }
+    // Skyline of the candidates under V, closed under V-projection
+    // equality over the whole dataset: a point that ties on V with a
+    // core member is equally non-dominated.
+    const std::vector<PointId> core =
+        SubspaceSkylineOverCandidates(data, subspace, candidates, tests);
+    cube.cuboids_[bits] = CloseUnderProjectionTies(data, subspace, core);
   }
   return cube;
 }

@@ -36,6 +36,32 @@ bool EqualInSubspace(const Value* a, const Value* b, Subspace subspace);
 std::vector<PointId> SubspaceSkyline(const Dataset& data, Subspace subspace,
                                      std::uint64_t* tests = nullptr);
 
+/// Skyline of the id list `candidates` under dominance restricted to
+/// `subspace` (block nested loop). Returned ids keep candidate order and
+/// are NOT sorted; `tests` (optional) accumulates the dominance tests
+/// spent. This is the sharing primitive of the top-down skycube scheme
+/// and of the query service's ancestor-seeded miss path.
+std::vector<PointId> SubspaceSkylineOverCandidates(
+    const Dataset& data, Subspace subspace,
+    const std::vector<PointId>& candidates, std::uint64_t* tests = nullptr);
+
+/// The duplicate-projection tie repair of the top-down sharing scheme:
+/// every point of `data` whose projection onto `subspace` equals that of
+/// some member of `core`, ids ascending. With `core` being the
+/// `subspace`-skyline of an ancestor cuboid's skyline, the result is
+/// exactly sky(subspace) — see the header comment above and
+/// docs/query_service.md for the chain argument that makes any ancestor
+/// (not just a parent) a sound seed.
+std::vector<PointId> CloseUnderProjectionTies(const Dataset& data,
+                                              Subspace subspace,
+                                              const std::vector<PointId>& core);
+
+/// Copies `data` restricted to the member dimensions of the non-empty
+/// `subspace` (column order preserved, row ids unchanged) — the bridge
+/// that lets the full-space subset-boosted engines answer subspace
+/// skylines.
+Dataset ProjectDataset(const Dataset& data, Subspace subspace);
+
 /// How Skycube::Compute fills the cuboids.
 enum class SkycubeStrategy {
   /// Every cuboid computed independently from the full dataset.

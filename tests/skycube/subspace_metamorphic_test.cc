@@ -1,0 +1,177 @@
+// Metamorphic properties of subspace skylines, run against both skycube
+// strategies. Unlike the oracle tests in skycube_test.cc these never
+// compare against a reference implementation — they check relations the
+// *definition* of subspace dominance forces between related inputs:
+//
+//   1. Dimension-permutation invariance: permuting the columns permutes
+//      the cuboid lattice but never the id sets.
+//   2. Monotone-transform invariance: strictly increasing per-column
+//      transforms preserve every < and == comparison, hence every
+//      cuboid.
+//   3. Subset closure: sky(V) ⊆ closure_V(sky(U)) for V ⊆ U, where
+//      closure_V is the duplicate-projection tie repair — the exact
+//      relation the top-down sharing scheme and the query service's
+//      ancestor seeding rely on.
+//   4. Single-dimension cuboids are argmin sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/verify.h"
+#include "src/data/generator.h"
+#include "src/skycube/skycube.h"
+
+namespace skyline {
+namespace {
+
+struct MetamorphicCase {
+  const char* label;
+  DataType type;
+  unsigned dims;
+  std::size_t points;
+  std::uint64_t seed;
+  bool quantize;  // floor(v * 4): duplicate projections everywhere
+};
+
+Dataset MakeData(const MetamorphicCase& c) {
+  Dataset base = Generate(c.type, c.points, c.dims, c.seed);
+  if (!c.quantize) return base;
+  std::vector<Value> values = base.values();
+  for (Value& v : values) v = std::floor(v * 4);
+  return Dataset(c.dims, std::move(values));
+}
+
+class SubspaceMetamorphicTest
+    : public ::testing::TestWithParam<
+          std::tuple<MetamorphicCase, SkycubeStrategy>> {};
+
+TEST_P(SubspaceMetamorphicTest, DimensionPermutationInvariance) {
+  const auto& [c, strategy] = GetParam();
+  const Dataset data = MakeData(c);
+
+  // A fixed non-trivial permutation: rotate left by one.
+  std::vector<Dim> perm(c.dims);
+  for (Dim i = 0; i < c.dims; ++i) perm[i] = (i + 1) % c.dims;
+
+  std::vector<Value> permuted_values(data.values().size());
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    for (Dim i = 0; i < c.dims; ++i) {
+      permuted_values[p * c.dims + perm[i]] = data.at(p, i);
+    }
+  }
+  const Dataset permuted(c.dims, std::move(permuted_values));
+
+  const Skycube cube = Skycube::Compute(data, strategy);
+  const Skycube permuted_cube = Skycube::Compute(permuted, strategy);
+  for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << c.dims); ++bits) {
+    const Subspace v(bits);
+    Subspace mapped;
+    v.ForEachDim([&](Dim i) { mapped.Add(perm[i]); });
+    ASSERT_TRUE(SameIdSet(cube.skyline(v), permuted_cube.skyline(mapped)))
+        << c.label << ": cuboid " << v.ToString() << " vs "
+        << mapped.ToString();
+  }
+}
+
+TEST_P(SubspaceMetamorphicTest, MonotoneTransformInvariance) {
+  const auto& [c, strategy] = GetParam();
+  const Dataset data = MakeData(c);
+
+  // A different strictly increasing map per dimension (inputs are
+  // nonnegative, so all four are strictly increasing on the domain).
+  auto transform = [](Dim dim, Value v) -> Value {
+    switch (dim % 4) {
+      case 0:
+        return 3 * v + 1;
+      case 1:
+        return std::exp(v);
+      case 2:
+        return v * v * v;
+      default:
+        return std::sqrt(v + 1);
+    }
+  };
+  std::vector<Value> mapped_values(data.values().size());
+  for (PointId p = 0; p < data.num_points(); ++p) {
+    for (Dim i = 0; i < c.dims; ++i) {
+      mapped_values[p * c.dims + i] = transform(i, data.at(p, i));
+    }
+  }
+  const Dataset mapped(c.dims, std::move(mapped_values));
+
+  const Skycube cube = Skycube::Compute(data, strategy);
+  const Skycube mapped_cube = Skycube::Compute(mapped, strategy);
+  for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << c.dims); ++bits) {
+    const Subspace v(bits);
+    ASSERT_TRUE(SameIdSet(cube.skyline(v), mapped_cube.skyline(v)))
+        << c.label << ": cuboid " << v.ToString();
+  }
+}
+
+TEST_P(SubspaceMetamorphicTest, SubsetClosureContainsSubspaceSkyline) {
+  const auto& [c, strategy] = GetParam();
+  const Dataset data = MakeData(c);
+  const Skycube cube = Skycube::Compute(data, strategy);
+
+  for (std::uint64_t ubits = 1; ubits < (std::uint64_t{1} << c.dims);
+       ++ubits) {
+    const Subspace u(ubits);
+    // Every proper non-empty V ⊂ U.
+    for (std::uint64_t vbits = (ubits - 1) & ubits; vbits != 0;
+         vbits = (vbits - 1) & ubits) {
+      const Subspace v(vbits);
+      const std::vector<PointId> closure =
+          CloseUnderProjectionTies(data, v, cube.skyline(u));
+      const std::vector<PointId>& sky_v = cube.skyline(v);
+      ASSERT_TRUE(std::includes(closure.begin(), closure.end(), sky_v.begin(),
+                                sky_v.end()))
+          << c.label << ": sky(" << v.ToString() << ") not within closure of "
+          << "sky(" << u.ToString() << ")";
+    }
+  }
+}
+
+TEST_P(SubspaceMetamorphicTest, SingleDimensionCuboidIsArgminSet) {
+  const auto& [c, strategy] = GetParam();
+  const Dataset data = MakeData(c);
+  const Skycube cube = Skycube::Compute(data, strategy);
+
+  for (Dim dim = 0; dim < c.dims; ++dim) {
+    Value min_value = data.at(0, dim);
+    for (PointId p = 1; p < data.num_points(); ++p) {
+      min_value = std::min(min_value, data.at(p, dim));
+    }
+    std::vector<PointId> argmin;
+    for (PointId p = 0; p < data.num_points(); ++p) {
+      if (data.at(p, dim) == min_value) argmin.push_back(p);
+    }
+    ASSERT_TRUE(SameIdSet(cube.skyline(Subspace::Single(dim)), argmin))
+        << c.label << ": dimension " << dim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SubspaceMetamorphicTest,
+    ::testing::Combine(
+        ::testing::Values(
+            MetamorphicCase{"UI-4d", DataType::kUniformIndependent, 4, 300, 11,
+                            false},
+            MetamorphicCase{"UI-4d-quantized", DataType::kUniformIndependent,
+                            4, 300, 12, true},
+            MetamorphicCase{"AC-4d", DataType::kAntiCorrelated, 4, 250, 13,
+                            false},
+            MetamorphicCase{"CO-5d", DataType::kCorrelated, 5, 300, 14,
+                            false}),
+        ::testing::Values(SkycubeStrategy::kNaive, SkycubeStrategy::kTopDown)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param).label;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + (std::get<1>(info.param) == SkycubeStrategy::kNaive
+                         ? "_naive"
+                         : "_topdown");
+    });
+
+}  // namespace
+}  // namespace skyline

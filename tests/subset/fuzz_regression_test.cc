@@ -16,6 +16,7 @@
 
 #include "fuzz/harness_csv.h"
 #include "fuzz/harness_merge.h"
+#include "fuzz/harness_query_service.h"
 #include "fuzz/harness_subset_index.h"
 #include "fuzz/harness_subspace.h"
 
@@ -24,6 +25,7 @@ namespace {
 
 using fuzz::RunCsvFuzzInput;
 using fuzz::RunMergeFuzzInput;
+using fuzz::RunQueryServiceFuzzInput;
 using fuzz::RunSubsetIndexFuzzInput;
 using fuzz::RunSubspaceFuzzInput;
 
@@ -147,6 +149,36 @@ TEST(FuzzRegressionTest, CsvCorpusAwkwardDoubles) {
   RunCsvFuzzInput(input.data(), input.size());
 }
 
+// fuzz/corpus/query_service/seed-repeat.bin: d=4, capacity 4, pinned
+// full space, 12 quantized points, repeat-heavy query stream — the
+// cache-hit and ancestor-seeded paths with duplicate projections.
+TEST(FuzzRegressionTest, QueryServiceCorpusRepeatHeavy) {
+  std::mt19937_64 rng(7);
+  std::vector<std::uint8_t> input = {2, 3, 1, 11};
+  for (int i = 0; i < 12 * 4; ++i) {
+    input.push_back(static_cast<std::uint8_t>(rng() % 8));
+  }
+  for (std::uint8_t q : {1, 3, 1, 3, 7, 1, 3, 15, 1, 3, 1, 5, 3, 1, 3, 1}) {
+    input.push_back(static_cast<std::uint8_t>(q - 1));
+  }
+  RunQueryServiceFuzzInput(input.data(), input.size());
+}
+
+// fuzz/corpus/query_service/seed-evict.bin: d=3, capacity 1, unpinned,
+// id budget on, all 7 masks round-robin twice — eviction churn on every
+// miss plus the cold-compute path.
+TEST(FuzzRegressionTest, QueryServiceCorpusEvictionChurn) {
+  std::mt19937_64 rng(8);
+  std::vector<std::uint8_t> input = {1, 0, 2, 19};
+  for (int i = 0; i < 20 * 3; ++i) {
+    input.push_back(static_cast<std::uint8_t>(rng() % 8));
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint8_t q = 0; q < 7; ++q) input.push_back(q);
+  }
+  RunQueryServiceFuzzInput(input.data(), input.size());
+}
+
 TEST(FuzzRegressionTest, CsvShortRandomSweep) {
   std::mt19937_64 rng(0xC57);
   for (int i = 0; i < 300; ++i) {
@@ -176,6 +208,14 @@ TEST(FuzzRegressionTest, SubsetIndexShortRandomSweep) {
   for (int i = 0; i < 200; ++i) {
     const auto input = RandomBytes(rng, 256);
     RunSubsetIndexFuzzInput(input.data(), input.size());
+  }
+}
+
+TEST(FuzzRegressionTest, QueryServiceShortRandomSweep) {
+  std::mt19937_64 rng(0x5E2F1CE);
+  for (int i = 0; i < 150; ++i) {
+    const auto input = RandomBytes(rng, 224);
+    RunQueryServiceFuzzInput(input.data(), input.size());
   }
 }
 
