@@ -177,7 +177,7 @@ inline void RunCardinalitySweep(DataType type, const BenchOptions& opts,
 /// gate would silently compare stale files).
 inline int FinishJson(const BenchOptions& opts, const JsonReport& report) {
   if (opts.json_path.empty()) return 0;
-  return report.WriteFile(opts.json_path) ? 0 : 1;
+  return report.WriteFile(opts.json_path, &std::cerr) ? 0 : 1;
 }
 
 inline void PrintScaleBanner(const BenchOptions& opts, const char* what) {

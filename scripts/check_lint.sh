@@ -11,8 +11,11 @@
 #   L3  no `using namespace` in any header
 #   L4  project-relative includes must be rooted ("src/..." / "fuzz/...")
 #   L5  no <iostream> in the library's compute layers (core, subset,
-#       parallel, algo, query) — printing belongs to the
-#       harness/examples
+#       parallel, algo, query, stream) and in src/harness — printing
+#       belongs to the binaries; the harness takes std::ostream sinks
+#   L6  project invariants (scripts/check_invariants.py): annotated
+#       locking only, guarded fields, side-effect-free contracts,
+#       kernel-layer hot-loop rules — see docs/static_analysis.md
 #
 # Usage: scripts/check_lint.sh
 set -euo pipefail
@@ -56,7 +59,13 @@ done < <(grep -rn --include='*.h' --include='*.cc' '#include "' src/ fuzz/ |
 while IFS= read -r match; do
   report L5 "$match: <iostream> is banned in the compute layers"
 done < <(grep -rln --include='*.h' --include='*.cc' '<iostream>' \
-         src/core src/subset src/parallel src/algo src/query 2> /dev/null || true)
+         src/core src/subset src/parallel src/algo src/query \
+         src/stream src/harness 2> /dev/null || true)
+
+# L6: the project-invariant linter (self-tested in CI with --self-test).
+if ! python3 scripts/check_invariants.py; then
+  report L6 "scripts/check_invariants.py found violations (see above)"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "Custom lint FAILED." >&2

@@ -1,0 +1,208 @@
+// Annotated synchronization primitives — the only file in src/ allowed
+// to name a std locking type (scripts/check_invariants.py rule R1
+// enforces this).
+//
+// The wrappers carry Clang Thread Safety Analysis attributes, so a
+// Clang build with -Wthread-safety (CMake option SKYLINE_THREAD_SAFETY)
+// proves lock discipline at COMPILE time, for every schedule — the
+// static complement to the TSan preset, which only checks the schedules
+// the test suite happens to execute. On non-Clang toolchains every
+// attribute expands to nothing and the wrappers are zero-cost veneers
+// over the std primitives, so gcc builds are unaffected.
+//
+// Discipline (see docs/static_analysis.md):
+//
+//   * A field protected by a lock is declared with
+//     SKYLINE_GUARDED_BY(mu) (SKYLINE_PT_GUARDED_BY for the pointee of
+//     a pointer). Clang then rejects any access outside a critical
+//     section of `mu`.
+//   * An internal helper that expects its caller to hold the lock says
+//     so with SKYLINE_REQUIRES(mu) / SKYLINE_REQUIRES_SHARED(mu) —
+//     documentation the compiler enforces at every call site.
+//   * A public entry point that takes the lock itself is annotated
+//     SKYLINE_EXCLUDES(mu), which turns self-deadlock (re-entry) into a
+//     compile error.
+//   * Lock-free publish protocols that the analysis cannot express
+//     (release/acquire handshakes) are confined to single accessor
+//     functions marked SKYLINE_NO_THREAD_SAFETY_ANALYSIS, each
+//     commented with the protocol that makes it sound.
+#ifndef SKYLINE_CORE_SYNC_H_
+#define SKYLINE_CORE_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---- Attribute macros (Clang Thread Safety Analysis) ----
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#if defined(__clang__) && !defined(SKYLINE_NO_THREAD_SAFETY_ATTRIBUTES)
+#define SKYLINE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SKYLINE_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in
+/// diagnostics).
+#define SKYLINE_CAPABILITY(x) SKYLINE_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define SKYLINE_SCOPED_CAPABILITY SKYLINE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field access requires holding `x` (in any mode for reads, exclusive
+/// for writes).
+#define SKYLINE_GUARDED_BY(x) SKYLINE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Dereferencing this pointer requires holding `x`.
+#define SKYLINE_PT_GUARDED_BY(x) SKYLINE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Caller must hold the capability exclusively.
+#define SKYLINE_REQUIRES(...) \
+  SKYLINE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define SKYLINE_REQUIRES_SHARED(...) \
+  SKYLINE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (and did not hold it).
+#define SKYLINE_ACQUIRE(...) \
+  SKYLINE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability in shared mode.
+#define SKYLINE_ACQUIRE_SHARED(...) \
+  SKYLINE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (scoped wrappers: whatever mode the
+/// scope holds — Clang tracks the mode per scoped object).
+#define SKYLINE_RELEASE(...) \
+  SKYLINE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases a shared hold of the capability.
+#define SKYLINE_RELEASE_SHARED(...) \
+  SKYLINE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability — re-entry becomes a compile
+/// error instead of a deadlock.
+#define SKYLINE_EXCLUDES(...) \
+  SKYLINE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns the capability guarding its result.
+#define SKYLINE_RETURN_CAPABILITY(x) \
+  SKYLINE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function body is excluded from the analysis. Every
+/// use must carry a comment stating the protocol that makes it sound.
+#define SKYLINE_NO_THREAD_SAFETY_ANALYSIS \
+  SKYLINE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace skyline {
+
+/// std::mutex with a capability annotation. Prefer the RAII MutexLock;
+/// Lock()/Unlock() exist for the rare split-scope pattern.
+class SKYLINE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SKYLINE_ACQUIRE() { mu_.lock(); }
+  void Unlock() SKYLINE_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with a capability annotation: one writer or many
+/// readers. Prefer the RAII WriterLock / ReaderLock.
+class SKYLINE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SKYLINE_ACQUIRE() { mu_.lock(); }
+  void Unlock() SKYLINE_RELEASE() { mu_.unlock(); }
+  void LockShared() SKYLINE_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SKYLINE_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderLock;
+  friend class WriterLock;
+  std::shared_mutex mu_;
+};
+
+/// RAII critical section over a Mutex. Unlock() ends the section early;
+/// the destructor is then a no-op.
+class SKYLINE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SKYLINE_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() SKYLINE_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() SKYLINE_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII exclusive (writer) critical section over a SharedMutex.
+class SKYLINE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) SKYLINE_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~WriterLock() SKYLINE_RELEASE() {}
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+  void Unlock() SKYLINE_RELEASE() { lock_.unlock(); }
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// RAII shared (reader) critical section over a SharedMutex.
+class SKYLINE_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) SKYLINE_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  ~ReaderLock() SKYLINE_RELEASE() {}
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+  void Unlock() SKYLINE_RELEASE() { lock_.unlock(); }
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// Condition variable bound to MutexLock. Wait atomically releases and
+/// reacquires the section, which the static analysis cannot see — from
+/// the caller's perspective the capability is held across the call,
+/// which is exactly the guarantee Wait restores before returning.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Predicate>
+  void Wait(MutexLock& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SYNC_H_

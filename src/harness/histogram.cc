@@ -57,11 +57,10 @@ std::uint64_t LatencyHistogram::Snapshot::PercentileNanos(double p) const {
   for (int b = 0; b < kBuckets; ++b) {
     seen += counts[b];
     if (seen >= rank && counts[b] > 0) {
-      // Upper bound of bucket b: 2^(b+1) - 1 ns (bucket 0: 1 ns).
-      return (std::uint64_t{2} << b) - 1;
+      return LatencyHistogram::BucketUpperNanos(b);
     }
   }
-  return (std::uint64_t{2} << (kBuckets - 1)) - 1;
+  return LatencyHistogram::BucketUpperNanos(kBuckets - 1);
 }
 
 namespace {

@@ -63,6 +63,14 @@ class LatencyHistogram {
   /// Bucket index of a sample; exposed for tests.
   static int BucketOf(std::uint64_t nanos);
 
+  /// Largest value bucket `b` can hold: 2^(b+1) - 1 ns (bucket 0 holds
+  /// 0-1 ns; the top bucket reports its nominal bound even though it
+  /// absorbs everything larger). Percentiles are reported in these
+  /// units, so tests and callers can name exact expected values.
+  static constexpr std::uint64_t BucketUpperNanos(int b) {
+    return (std::uint64_t{2} << b) - 1;
+  }
+
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
 };

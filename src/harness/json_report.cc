@@ -2,7 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
-#include <iostream>
+#include <ostream>
 
 namespace skyline {
 
@@ -82,20 +82,27 @@ std::string JsonReport::ToJson() const {
   return out;
 }
 
-bool JsonReport::WriteFile(const std::string& path) const {
+bool JsonReport::WriteFile(const std::string& path,
+                           std::ostream* diag) const {
   std::ofstream f(path);
   if (!f) {
-    std::cerr << "JsonReport: cannot open " << path << " for writing\n";
+    if (diag != nullptr) {
+      *diag << "JsonReport: cannot open " << path << " for writing\n";
+    }
     return false;
   }
   f << ToJson();
   f.close();
   if (!f) {
-    std::cerr << "JsonReport: write to " << path << " failed\n";
+    if (diag != nullptr) {
+      *diag << "JsonReport: write to " << path << " failed\n";
+    }
     return false;
   }
-  std::cerr << "  [json] wrote " << records_.size() << " records to " << path
-            << "\n";
+  if (diag != nullptr) {
+    *diag << "  [json] wrote " << records_.size() << " records to " << path
+          << "\n";
+  }
   return true;
 }
 

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -65,9 +66,12 @@ class JsonReport {
   /// Serializes the report (pretty-printed, stable field order).
   std::string ToJson() const;
 
-  /// Writes ToJson() to `path`; returns false (with a stderr note) on
-  /// I/O failure.
-  bool WriteFile(const std::string& path) const;
+  /// Writes ToJson() to `path`. Diagnostics (open/write failures and
+  /// the success note) go to `diag` when non-null; callers that want
+  /// them on the console pass `&std::cerr`. Returns false on I/O
+  /// failure.
+  bool WriteFile(const std::string& path,
+                 std::ostream* diag = nullptr) const;
 
  private:
   std::string bench_;

@@ -8,6 +8,9 @@ namespace skyline {
 
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
   BenchOptions opts;
+  // Parse() runs once from main() before any thread exists, so the
+  // mt-unsafe getenv cannot race a setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("SKYLINE_FULL");
   if (env != nullptr && std::strcmp(env, "0") != 0 && *env != '\0') {
     opts.full = true;

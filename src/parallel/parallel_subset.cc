@@ -41,6 +41,17 @@ struct RebasedResult {
 
 }  // namespace
 
+// Concurrency discipline (checked statically, see docs/static_analysis.md):
+// this engine is deliberately lock-free — no field of it is mutable
+// shared state, so there is nothing for src/core/sync.h to guard. Every
+// phase writes only into the slot of the unit it executes (`locals[t]`,
+// `rebased[t]`, `slices[t]`, `surviving[t]`, and the matching
+// StatsAccumulator slot), reads of cross-partition data touch only
+// structures frozen before the phase started (`aligned`, `partitions`,
+// `locals` in phase 2, `global_index` in phase 3), and the join inside
+// ParallelForEachUnit sequences the phases. Exceptions thrown by a unit
+// propagate to this thread (ParallelForEachUnit rethrows after joining),
+// so a throwing partition cannot leak threads or half-built results.
 std::vector<PointId> ParallelSubsetSfs::Compute(const Dataset& data,
                                                 SkylineStats* stats) const {
   const std::size_t n = data.num_points();

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <thread>
 
 #include "src/core/contracts.h"
+#include "src/core/sync.h"
 
 namespace skyline {
 
@@ -51,18 +53,37 @@ void ParallelForEachUnit(std::size_t num_units, unsigned workers,
     for (std::size_t unit = 0; unit < num_units; ++unit) run_unit(unit);
   } else {
     std::atomic<std::size_t> cursor{0};
+    // A unit that throws would std::terminate inside std::thread; to
+    // give the parallel engines the same exception semantics as the
+    // inline path, workers park the first exception here (Mutex — the
+    // slow path runs at most once per worker) and stop claiming units.
+    Mutex error_mu;
+    std::exception_ptr first_error;  // guarded by error_mu until join
+    std::atomic<bool> aborted{false};
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (unsigned t = 0; t < workers; ++t) {
       threads.emplace_back([&] {
         for (std::size_t unit = cursor.fetch_add(1, std::memory_order_relaxed);
-             unit < num_units;
+             unit < num_units && !aborted.load(std::memory_order_relaxed);
              unit = cursor.fetch_add(1, std::memory_order_relaxed)) {
-          run_unit(unit);
+          try {
+            run_unit(unit);
+          } catch (...) {
+            MutexLock lock(error_mu);
+            if (first_error == nullptr) {
+              first_error = std::current_exception();
+            }
+            aborted.store(true, std::memory_order_relaxed);
+          }
         }
       });
     }
     for (std::thread& thread : threads) thread.join();
+    // The join above happens-after every worker's store, so the read
+    // needs no lock — but holding it keeps the discipline checkable.
+    MutexLock lock(error_mu);
+    if (first_error != nullptr) std::rethrow_exception(first_error);
   }
 
 #ifdef SKYLINE_CHECKS

@@ -34,6 +34,12 @@ unsigned EffectiveWorkers(unsigned requested, std::size_t num_units);
 /// uneven units load-balance. Calls for distinct units may run
 /// concurrently — fn must only touch per-unit state — and every call
 /// happens-before the return (the threads are joined).
+///
+/// If fn throws, the first exception (in claim order across workers) is
+/// captured under a Mutex, the remaining workers stop claiming units,
+/// and the exception is rethrown on the calling thread after the join —
+/// the same propagation the 1-worker inline path has always had, so a
+/// throwing unit can no longer std::terminate the process.
 void ParallelForEachUnit(std::size_t num_units, unsigned workers,
                          const std::function<void(std::size_t)>& fn);
 

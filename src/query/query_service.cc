@@ -11,6 +11,24 @@
 
 namespace skyline {
 
+void QueryService::Entry::Publish(std::vector<PointId> new_ids) {
+  {
+    MutexLock lock(mu);
+    ids_ = std::move(new_ids);
+    ready.store(true, std::memory_order_release);
+  }
+  cv.NotifyAll();
+}
+
+const std::vector<PointId>& QueryService::Entry::published_ids() const {
+  // Lock-free by protocol: ids_ was written under mu before the
+  // releasing ready store, the caller synchronized with an acquiring
+  // ready load, and no write ever follows publication.
+  SKYLINE_DCHECK(ready.load(std::memory_order_acquire),
+                 "Entry::published_ids: entry not published yet");
+  return ids_;
+}
+
 QueryService::QueryService(const Dataset& data, QueryServiceOptions options)
     : data_(data), options_(std::move(options)) {
   SKYLINE_ASSERT(options_.max_entries >= 1,
@@ -18,28 +36,30 @@ QueryService::QueryService(const Dataset& data, QueryServiceOptions options)
   if (!options_.pin_full_space) return;
   const Subspace full = Subspace::Full(data_.num_dims());
   std::uint64_t tests = 0;
-  auto entry = std::make_shared<Entry>();
-  entry->pinned = true;
-  entry->ids = ComputeCold(full, &tests);
+  auto entry = std::make_shared<Entry>(/*pinned_entry=*/true);
+  std::vector<PointId> ids = ComputeCold(full, &tests);
+  const std::size_t num_ids = ids.size();
   cold_tests_.fetch_add(tests, std::memory_order_relaxed);
   entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
-  entry->ready.store(true, std::memory_order_release);
+  entry->Publish(std::move(ids));
+  // No other thread can hold a reference yet, but taking the lock keeps
+  // the guarded-field discipline uniform (and is uncontended here).
+  WriterLock lock(cache_mu_);
   pinned_entries_ = 1;
-  pinned_ids_ = entry->ids.size();
+  pinned_ids_ = num_ids;
   cache_.emplace(full.bits(), std::move(entry));
 }
 
 std::vector<PointId> QueryService::AwaitAndCopy(const EntryPtr& entry) {
   if (!entry->ready.load(std::memory_order_acquire)) {
-    std::unique_lock<std::mutex> lock(entry->mu);
-    entry->cv.wait(lock, [&] {
-      return entry->ready.load(std::memory_order_acquire);
-    });
+    MutexLock lock(entry->mu);
+    entry->cv.Wait(
+        lock, [&] { return entry->ready.load(std::memory_order_acquire); });
   }
   entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
-  return entry->ids;  // Immutable once ready; copy is race-free.
+  return entry->published_ids();  // Immutable once ready; copy is race-free.
 }
 
 QueryService::EntryPtr QueryService::FindBestAncestor(
@@ -50,8 +70,9 @@ QueryService::EntryPtr QueryService::FindBestAncestor(
     const Subspace u(bits);
     if (!v.IsSubsetOf(u)) continue;
     if (!entry->ready.load(std::memory_order_acquire)) continue;
-    if (best == nullptr || entry->ids.size() < best->ids.size() ||
-        (entry->ids.size() == best->ids.size() &&
+    const std::size_t num_ids = entry->published_ids().size();
+    if (best == nullptr || num_ids < best->published_ids().size() ||
+        (num_ids == best->published_ids().size() &&
          u.size() < best_subspace.size())) {
       best = entry;
       best_subspace = u;
@@ -108,26 +129,23 @@ std::vector<PointId> QueryService::ComputeSeededCore(
   return core;
 }
 
+bool QueryService::OverBudget() const {
+  const std::size_t unpinned = cache_.size() - pinned_entries_;
+  if (unpinned > options_.max_entries) return true;
+  return options_.max_total_ids != 0 && cached_ids_ > options_.max_total_ids;
+}
+
 void QueryService::PublishAndEvict(const EntryPtr& entry, std::uint64_t key,
                                    std::vector<PointId> ids) {
-  {
-    std::lock_guard<std::mutex> lock(entry->mu);
-    entry->ids = std::move(ids);
-    entry->ready.store(true, std::memory_order_release);
-  }
-  entry->cv.notify_all();
+  const std::size_t num_ids = ids.size();
+  entry->Publish(std::move(ids));
 
-  std::unique_lock<std::shared_mutex> lock(cache_mu_);
-  cached_ids_ += entry->ids.size();
+  WriterLock lock(cache_mu_);
+  cached_ids_ += num_ids;
   entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
 
-  auto over_budget = [&] {
-    const std::size_t unpinned = cache_.size() - pinned_entries_;
-    if (unpinned > options_.max_entries) return true;
-    return options_.max_total_ids != 0 && cached_ids_ > options_.max_total_ids;
-  };
-  while (over_budget()) {
+  while (OverBudget()) {
     // LRU victim among ready unpinned entries, the freshly published
     // one excluded unless it is the only candidate left.
     auto victim = cache_.end();
@@ -144,15 +162,15 @@ void QueryService::PublishAndEvict(const EntryPtr& entry, std::uint64_t key,
     if (victim == cache_.end()) {
       // Only in-flight entries (or the fresh one) remain; if the fresh
       // entry alone busts the id budget, keeping it is the policy.
-      if (cache_.count(key) != 0 && cache_.size() - pinned_entries_ >
-                                        options_.max_entries) {
-        cached_ids_ -= entry->ids.size();
+      if (cache_.count(key) != 0 &&
+          cache_.size() - pinned_entries_ > options_.max_entries) {
+        cached_ids_ -= num_ids;
         cache_.erase(key);
         evictions_.fetch_add(1, std::memory_order_relaxed);
       }
       break;
     }
-    cached_ids_ -= victim->second->ids.size();
+    cached_ids_ -= victim->second->published_ids().size();
     cache_.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -175,12 +193,12 @@ std::vector<PointId> QueryService::Query(Subspace v) {
 
   // Fast path: shared-lock lookup.
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    ReaderLock lock(cache_mu_);
     auto it = cache_.find(v.bits());
     if (it != cache_.end()) {
       EntryPtr entry = it->second;
       const bool was_ready = entry->ready.load(std::memory_order_acquire);
-      lock.unlock();
+      lock.Unlock();
       if (was_ready) {
         hits_.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -195,13 +213,13 @@ std::vector<PointId> QueryService::Query(Subspace v) {
   EntryPtr ancestor;
   Subspace ancestor_subspace;
   {
-    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    WriterLock lock(cache_mu_);
     auto it = cache_.find(v.bits());
     if (it != cache_.end()) {
       // Another thread claimed it between our two lookups.
       EntryPtr existing = it->second;
       const bool was_ready = existing->ready.load(std::memory_order_acquire);
-      lock.unlock();
+      lock.Unlock();
       if (was_ready) {
         hits_.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -209,7 +227,7 @@ std::vector<PointId> QueryService::Query(Subspace v) {
       }
       return finish(AwaitAndCopy(existing));
     }
-    entry = std::make_shared<Entry>();
+    entry = std::make_shared<Entry>(/*pinned_entry=*/false);
     cache_.emplace(v.bits(), entry);
     ancestor = FindBestAncestor(v, &ancestor_subspace);
   }
@@ -220,7 +238,7 @@ std::vector<PointId> QueryService::Query(Subspace v) {
     // Top-down sharing from the ancestor cuboid: V-skyline of the
     // ancestor's ids, then the duplicate-projection tie repair.
     const std::vector<PointId> core =
-        ComputeSeededCore(v, ancestor->ids, &tests);
+        ComputeSeededCore(v, ancestor->published_ids(), &tests);
     ids = CloseUnderProjectionTies(data_, v, core);
     seeded_.fetch_add(1, std::memory_order_relaxed);
     seeded_tests_.fetch_add(tests, std::memory_order_relaxed);
@@ -245,11 +263,11 @@ QueryStatsSnapshot QueryService::Stats() const {
   snap.seeded_tests = seeded_tests_.load(std::memory_order_relaxed);
   snap.cold_tests = cold_tests_.load(std::memory_order_relaxed);
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    ReaderLock lock(cache_mu_);
     for (const auto& [bits, entry] : cache_) {
       if (!entry->ready.load(std::memory_order_acquire)) continue;
       ++snap.cache_entries;
-      snap.cache_ids += entry->ids.size();
+      snap.cache_ids += entry->published_ids().size();
     }
   }
   snap.latency = latency_.Snap();

@@ -34,17 +34,15 @@
 #define SKYLINE_QUERY_QUERY_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/algo/algorithm.h"
 #include "src/core/dataset.h"
 #include "src/core/subspace.h"
+#include "src/core/sync.h"
 #include "src/harness/histogram.h"
 
 namespace skyline {
@@ -120,22 +118,41 @@ class QueryService {
 
   /// Ids of the skyline of the non-empty subspace `v` (which must lie
   /// inside the dataset's space), ascending. Safe to call concurrently.
-  std::vector<PointId> Query(Subspace v);
+  std::vector<PointId> Query(Subspace v) SKYLINE_EXCLUDES(cache_mu_);
 
   /// Copies the current counters; safe to call concurrently.
-  QueryStatsSnapshot Stats() const;
+  QueryStatsSnapshot Stats() const SKYLINE_EXCLUDES(cache_mu_);
 
   const Dataset& data() const { return data_; }
   const QueryServiceOptions& options() const { return options_; }
 
  private:
+  /// One cached cuboid. Publication protocol: `ids_` is written exactly
+  /// once, under `mu`, before `ready` is set with release order
+  /// (Publish). Readers that observed `ready` with acquire order may
+  /// therefore read `ids_` lock-free (published_ids) — the entry is
+  /// immutable from publication on.
   struct Entry {
-    std::mutex mu;
-    std::condition_variable cv;
+    explicit Entry(bool pinned_entry) : pinned(pinned_entry) {}
+
+    /// Stores the result, marks the entry ready, and wakes coalesced
+    /// waiters. Called exactly once per entry, by the computing thread.
+    void Publish(std::vector<PointId> new_ids) SKYLINE_EXCLUDES(mu);
+
+    /// The published id list, read lock-free. Sound without holding
+    /// `mu` because the caller observed `ready` (acquire) and `ids_` is
+    /// never written again after the releasing store in Publish.
+    const std::vector<PointId>& published_ids() const
+        SKYLINE_NO_THREAD_SAFETY_ANALYSIS;
+
+    Mutex mu;
+    CondVar cv;
     std::atomic<bool> ready{false};
     std::atomic<std::uint64_t> last_used{0};
-    bool pinned = false;
-    std::vector<PointId> ids;  ///< Immutable once `ready`.
+    const bool pinned;
+
+   private:
+    std::vector<PointId> ids_ SKYLINE_GUARDED_BY(mu);
   };
   using EntryPtr = std::shared_ptr<Entry>;
 
@@ -143,8 +160,9 @@ class QueryService {
   std::vector<PointId> AwaitAndCopy(const EntryPtr& entry);
 
   /// Smallest ready cached cuboid whose subspace is a superset of `v`
-  /// (by id count, then by dimension count). Caller holds cache_mu_.
-  EntryPtr FindBestAncestor(Subspace v, Subspace* ancestor_subspace) const;
+  /// (by id count, then by dimension count).
+  EntryPtr FindBestAncestor(Subspace v, Subspace* ancestor_subspace) const
+      SKYLINE_REQUIRES_SHARED(cache_mu_);
 
   /// Computes sky(v) from scratch with the subset-boosted engine on the
   /// projected dataset; adds the dominance tests spent to `tests`.
@@ -161,16 +179,23 @@ class QueryService {
   /// Publishes `ids` into `entry`, accounts the size, and evicts LRU
   /// entries until the configured bounds hold again.
   void PublishAndEvict(const EntryPtr& entry, std::uint64_t key,
-                       std::vector<PointId> ids);
+                       std::vector<PointId> ids) SKYLINE_EXCLUDES(cache_mu_);
+
+  /// True while the cache exceeds its entry or id budget.
+  bool OverBudget() const SKYLINE_REQUIRES_SHARED(cache_mu_);
 
   const Dataset& data_;
   const QueryServiceOptions options_;
 
-  mutable std::shared_mutex cache_mu_;
-  std::unordered_map<std::uint64_t, EntryPtr> cache_;  ///< Key: subspace bits.
-  std::size_t cached_ids_ = 0;      ///< Ids over ready unpinned entries.
-  std::size_t pinned_entries_ = 0;  ///< Ready pinned entries.
-  std::size_t pinned_ids_ = 0;
+  mutable SharedMutex cache_mu_;
+  /// Key: subspace bits.
+  std::unordered_map<std::uint64_t, EntryPtr> cache_
+      SKYLINE_GUARDED_BY(cache_mu_);
+  /// Ids over ready unpinned entries.
+  std::size_t cached_ids_ SKYLINE_GUARDED_BY(cache_mu_) = 0;
+  /// Ready pinned entries.
+  std::size_t pinned_entries_ SKYLINE_GUARDED_BY(cache_mu_) = 0;
+  std::size_t pinned_ids_ SKYLINE_GUARDED_BY(cache_mu_) = 0;
 
   std::atomic<std::uint64_t> clock_{0};  ///< LRU stamp source.
 
@@ -182,7 +207,7 @@ class QueryService {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> seeded_tests_{0};
   std::atomic<std::uint64_t> cold_tests_{0};
-  LatencyHistogram latency_;
+  LatencyHistogram latency_;  // unguarded: internally lock-free atomics
 };
 
 }  // namespace skyline

@@ -1,0 +1,197 @@
+// Two tests in one file:
+//
+// 1. Runtime tests (any compiler): the src/core/sync.h wrappers really
+//    lock — mutual exclusion, reader/writer semantics, and the CondVar
+//    publish handshake hold under thread stress. The TSan preset runs
+//    these, so a wrapper that silently stopped locking is caught twice.
+//
+// 2. Negative-compile matrix (Clang + SKYLINE_THREAD_SAFETY only):
+//    compiling this file with -DSKYLINE_TS_NEG_CASE=<n> selects one
+//    deliberate lock-discipline violation that MUST fail the build
+//    under -Wthread-safety -Werror=thread-safety. tests/CMakeLists.txt
+//    registers one WILL_FAIL build test per case, proving the analysis
+//    is actually armed — a regression that turned the annotations into
+//    no-ops would flip these tests red, not silently drop coverage.
+#include "src/core/sync.h"
+
+#include <cstdint>
+
+namespace skyline {
+namespace {
+
+/// Annotated exactly like the production classes: a guarded field, a
+/// REQUIRES helper, and EXCLUDES entry points.
+class GuardedCounter {
+ public:
+  void Increment() SKYLINE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  std::int64_t Get() const SKYLINE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return GetLocked();
+  }
+
+  std::int64_t GetLocked() const SKYLINE_REQUIRES(mu_) { return value_; }
+
+  Mutex& mu() SKYLINE_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  mutable Mutex mu_;
+  std::int64_t value_ SKYLINE_GUARDED_BY(mu_) = 0;
+};
+
+/// Reader/writer shape of QueryService: shared reads, exclusive writes.
+class GuardedPair {
+ public:
+  void Set(std::int64_t a, std::int64_t b) SKYLINE_EXCLUDES(mu_) {
+    WriterLock lock(mu_);
+    a_ = a;
+    b_ = b;
+  }
+
+  std::int64_t Sum() const SKYLINE_EXCLUDES(mu_) {
+    ReaderLock lock(mu_);
+    return a_ + b_;
+  }
+
+ private:
+  mutable SharedMutex mu_;
+  std::int64_t a_ SKYLINE_GUARDED_BY(mu_) = 0;
+  std::int64_t b_ SKYLINE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+}  // namespace skyline
+
+#if defined(SKYLINE_TS_NEG_CASE)
+// ---- Negative-compile cases: each must NOT compile under Clang with
+// SKYLINE_THREAD_SAFETY=ON. Kept minimal so the only possible error is
+// the thread-safety diagnostic itself.
+namespace skyline {
+namespace {
+
+#if SKYLINE_TS_NEG_CASE == 1
+// Reading a GUARDED_BY field without its lock.
+std::int64_t UnguardedRead(GuardedCounter& c) {
+  return c.GetLocked();  // error: requires holding c.mu_
+}
+#elif SKYLINE_TS_NEG_CASE == 2
+// Writing a GUARDED_BY field while holding only the shared mode.
+class SharedWrite {
+ public:
+  void Bump() {
+    ReaderLock lock(mu_);
+    ++value_;  // error: writing requires exclusive hold
+  }
+
+ private:
+  SharedMutex mu_;
+  std::int64_t value_ SKYLINE_GUARDED_BY(mu_) = 0;
+};
+void Use(SharedWrite& s) { s.Bump(); }
+#elif SKYLINE_TS_NEG_CASE == 3
+// Acquiring without releasing: lock leaks out of the function.
+void LeakLock(Mutex& mu) {
+  mu.Lock();
+}  // error: mutex is still held at the end of function
+#elif SKYLINE_TS_NEG_CASE == 4
+// Re-entering an EXCLUDES section while holding the lock (self-deadlock
+// at runtime, compile error statically).
+void Reenter(GuardedCounter& c) {
+  MutexLock lock(c.mu());
+  c.Increment();  // error: Increment excludes mu_, which is held
+}
+#else
+#error "unknown SKYLINE_TS_NEG_CASE"
+#endif
+
+}  // namespace
+}  // namespace skyline
+
+#else  // !defined(SKYLINE_TS_NEG_CASE) — the runtime half.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace skyline {
+namespace {
+
+TEST(SyncTest, MutexLockProvidesMutualExclusion) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Get(), static_cast<std::int64_t>(kThreads) * kIncrements);
+}
+
+TEST(SyncTest, SharedMutexReadersSeeConsistentPairs) {
+  GuardedPair pair;
+  std::atomic<bool> stop{false};
+  // The writer keeps a_ + b_ == 0 inside every critical section; any
+  // reader observing a nonzero sum saw a torn pair, i.e. the wrappers
+  // failed to exclude readers from the write section.
+  std::thread writer([&] {
+    for (std::int64_t i = 1; !stop.load(std::memory_order_relaxed); ++i) {
+      pair.Set(i, -i);
+    }
+  });
+  for (int t = 0; t < 4; ++t) {
+    std::thread reader([&] {
+      for (int i = 0; i < 20000; ++i) EXPECT_EQ(pair.Sum(), 0);
+    });
+    reader.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(SyncTest, CondVarPublishHandshake) {
+  Mutex mu;
+  CondVar cv;
+  bool published = false;  // guarded by mu (local: annotation not possible)
+  std::int64_t payload = 0;
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    cv.Wait(lock, [&] { return published; });
+    EXPECT_EQ(payload, 42);
+  });
+  {
+    MutexLock lock(mu);
+    payload = 42;
+    published = true;
+  }
+  cv.NotifyAll();
+  consumer.join();
+}
+
+TEST(SyncTest, EarlyUnlockEndsTheCriticalSection) {
+  SharedMutex mu;
+  {
+    ReaderLock lock(mu);
+    lock.Unlock();
+    // Exclusive acquisition must now succeed without deadlock.
+    WriterLock relock(mu);
+  }
+  {
+    WriterLock lock(mu);
+    lock.Unlock();
+    ReaderLock relock(mu);
+  }
+}
+
+}  // namespace
+}  // namespace skyline
+
+#endif  // SKYLINE_TS_NEG_CASE

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 namespace skyline {
 namespace {
@@ -50,6 +54,110 @@ TEST(HistogramTest, BarsScaleWithCounts) {
     return std::count(s.begin(), s.end(), '#');
   };
   EXPECT_GT(hashes(line2), hashes(line1));
+}
+
+TEST(LatencyHistogramTest, BucketOfEdges) {
+  // Bucket 0 holds 0 and 1 ns; bucket b otherwise holds
+  // [2^b, 2^(b+1) - 1], i.e. boundaries move at exact powers of two.
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 0);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 1);
+  EXPECT_EQ(LatencyHistogram::BucketOf(3), 1);
+  EXPECT_EQ(LatencyHistogram::BucketOf(4), 2);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1023), 9);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1024), 10);
+  // Everything at and beyond 2^(kBuckets-1) saturates into the top
+  // bucket instead of indexing out of range.
+  constexpr int kTop = LatencyHistogram::kBuckets - 1;
+  EXPECT_EQ(LatencyHistogram::BucketOf(std::uint64_t{1} << kTop), kTop);
+  EXPECT_EQ(
+      LatencyHistogram::BucketOf(std::numeric_limits<std::uint64_t>::max()),
+      kTop);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotReportsZero) {
+  const LatencyHistogram hist;
+  const auto snap = hist.Snap();
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_EQ(snap.PercentileNanos(0), 0u);
+  EXPECT_EQ(snap.PercentileNanos(50), 0u);
+  EXPECT_EQ(snap.PercentileNanos(100), 0u);
+  std::ostringstream out;
+  PrintLatencySummary(out, "empty", snap);
+  EXPECT_EQ(out.str(), "empty: n=0\n");
+}
+
+TEST(LatencyHistogramTest, SingleBucketOwnsEveryPercentile) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 7; ++i) hist.Record(600);  // bucket 9: [512, 1023]
+  const auto snap = hist.Snap();
+  EXPECT_EQ(snap.total, 7u);
+  // All mass in one bucket: every percentile reports its upper bound.
+  const std::uint64_t bound = LatencyHistogram::BucketUpperNanos(9);
+  EXPECT_EQ(bound, 1023u);
+  EXPECT_EQ(snap.PercentileNanos(0), bound);
+  EXPECT_EQ(snap.PercentileNanos(50), bound);
+  EXPECT_EQ(snap.PercentileNanos(99), bound);
+  EXPECT_EQ(snap.PercentileNanos(100), bound);
+  // Out-of-range percentiles clamp instead of misbehaving.
+  EXPECT_EQ(snap.PercentileNanos(-5), bound);
+  EXPECT_EQ(snap.PercentileNanos(250), bound);
+}
+
+TEST(LatencyHistogramTest, PercentilesSplitAcrossBuckets) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 90; ++i) hist.Record(100);    // bucket 6: [64, 127]
+  for (int i = 0; i < 10; ++i) hist.Record(50000);  // bucket 15
+  const auto snap = hist.Snap();
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_EQ(snap.PercentileNanos(50), LatencyHistogram::BucketUpperNanos(6));
+  EXPECT_EQ(snap.PercentileNanos(90), LatencyHistogram::BucketUpperNanos(6));
+  EXPECT_EQ(snap.PercentileNanos(91), LatencyHistogram::BucketUpperNanos(15));
+  EXPECT_EQ(snap.PercentileNanos(100),
+            LatencyHistogram::BucketUpperNanos(15));
+}
+
+TEST(LatencyHistogramTest, SaturatingTopBucket) {
+  LatencyHistogram hist;
+  hist.Record(std::numeric_limits<std::uint64_t>::max());
+  const auto snap = hist.Snap();
+  constexpr int kTop = LatencyHistogram::kBuckets - 1;
+  EXPECT_EQ(snap.counts[kTop], 1u);
+  EXPECT_EQ(snap.total, 1u);
+  // The top bucket reports its nominal upper bound even though the
+  // recorded sample exceeds it — percentiles over-estimate, but stay
+  // finite and ordered.
+  EXPECT_EQ(snap.PercentileNanos(100),
+            LatencyHistogram::BucketUpperNanos(kTop));
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordAndSnapshot) {
+  // Recorders and a snapshotter run concurrently; the TSan preset runs
+  // this test, so any non-atomic counter access would be flagged. Mid-
+  // flight snapshots may see partial totals but must never exceed the
+  // final count or shrink between observations (counters only grow).
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kSamplesPerThread = 20000;
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&hist, t] {
+      for (int i = 0; i < kSamplesPerThread; ++i) {
+        hist.Record(static_cast<std::uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  std::uint64_t last_total = 0;
+  while (last_total < std::uint64_t{kThreads} * kSamplesPerThread) {
+    const auto snap = hist.Snap();
+    ASSERT_GE(snap.total, last_total);
+    ASSERT_LE(snap.total, std::uint64_t{kThreads} * kSamplesPerThread);
+    last_total = snap.total;
+  }
+  for (std::thread& thread : recorders) thread.join();
+  const auto final_snap = hist.Snap();
+  EXPECT_EQ(final_snap.total, std::uint64_t{kThreads} * kSamplesPerThread);
 }
 
 }  // namespace
