@@ -1,16 +1,19 @@
-// Subspace-skyline example: stand up a QueryService over a small hotel
-// table and answer "best hotels if you only care about ..." queries —
-// the full lattice once, then a repeat-heavy stream that the memoized
-// cuboid cache absorbs. The stats printout at the end shows the cache
-// doing the work: hits for repeats, ancestor-seeded computes for first
-// encounters, and only the pinned full-space cuboid paid cold.
+// Subspace-skyline example: stand up the deadline-aware SkylineServer
+// over a small hotel table and answer "best hotels if you only care
+// about ..." queries — the full lattice submitted asynchronously in one
+// burst (the batcher coalesces it into a handful of dispatch cycles),
+// then a repeat-heavy stream resolved inline from the cuboid cache via
+// the retrying client helper. The stats printout at the end shows the
+// serving layer doing the work: admissions, batches, fast hits and the
+// queue-wait histogram.
 //
 //   $ ./build/examples/subspace_queries
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "src/query/query_service.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 
 int main() {
   using namespace skyline;
@@ -25,9 +28,11 @@ int main() {
       {90, 0.9, 3},  {75, 0.8, 6},
   });
 
-  QueryService service(hotels);  // Pins the full-space skyline as seed.
+  ServerOptions options;
+  options.policy = OverloadPolicy::kServeStale;
+  SkylineServer server(hotels, options);  // Pins the full-space seed.
 
-  const auto describe = [&](Subspace v) {
+  const auto print = [&](Subspace v, const ServerResponse& response) {
     std::cout << "minimize {";
     bool first = true;
     v.ForEachDim([&](Dim i) {
@@ -36,31 +41,40 @@ int main() {
     });
     std::cout << "}: ";
     first = true;
-    for (PointId id : service.Query(v)) {
+    for (PointId id : response.ids) {
       std::cout << (first ? "" : ", ") << names[id];
       first = false;
     }
-    std::cout << "\n";
+    std::cout << "  [" << StatusCodeName(response.status) << "]\n";
   };
 
+  // The whole lattice in one asynchronous burst: Submit never computes,
+  // so all seven requests are queued before the worker pool coalesces
+  // them into batches.
   std::cout << "subspace skylines of " << hotels.num_points()
-            << " hotels, served from the memoized cuboid cache\n\n";
+            << " hotels, served by the batching skyline server\n\n";
+  std::vector<ResponseHandle> handles;
   for (std::uint64_t bits = 1; bits < (1u << hotels.num_dims()); ++bits) {
-    describe(Subspace(bits));
+    handles.push_back(server.Submit(Subspace(bits)));
+  }
+  for (std::uint64_t bits = 1; bits < (1u << hotels.num_dims()); ++bits) {
+    print(Subspace(bits), handles[bits - 1].Wait());
   }
 
-  // A repeat-heavy follow-up stream: every one of these is a cache hit.
-  std::cout << "\nrepeat queries (served from cache):\n";
-  describe(Subspace(0b011));  // price + distance again
-  describe(Subspace(0b101));  // price + noise again
-  describe(Subspace(0b011));  // and price + distance once more
+  // A repeat-heavy follow-up stream: every cuboid is cached now, so
+  // these resolve inline as fast hits — no queue, no dispatch cycle.
+  std::cout << "\nrepeat queries (inline fast hits), via the retry client:\n";
+  print(Subspace(0b011), QueryWithRetry(server, Subspace(0b011)));
+  print(Subspace(0b101), QueryWithRetry(server, Subspace(0b101)));
+  print(Subspace(0b011), QueryWithRetry(server, Subspace(0b011)));
 
-  const QueryStatsSnapshot stats = service.Stats();
-  std::cout << "\nservice stats: " << stats.queries << " queries, "
-            << stats.hits << " hits, " << stats.seeded
-            << " ancestor-seeded computes, " << stats.cold
-            << " cold computes (+1 pinned full space), "
-            << stats.dominance_tests() << " dominance tests total\n";
-  PrintLatencySummary(std::cout, "query latency", stats.latency);
+  const ServerStatsSnapshot stats = server.Stats();
+  std::cout << "\nserver stats: " << stats.submitted << " submitted, "
+            << stats.admitted << " admitted, " << stats.fast_hits
+            << " inline fast hits, " << stats.batches
+            << " dispatch cycles (mean batch " << stats.MeanBatchSize()
+            << "), " << stats.query.seeded << " ancestor-seeded computes, "
+            << stats.query.dominance_tests() << " dominance tests total\n";
+  PrintLatencySummary(std::cout, "queue wait", stats.queue_wait);
   return 0;
 }

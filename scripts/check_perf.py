@@ -77,6 +77,20 @@ def check_pair(current_path, baseline_path, dt_tol, rt_tol):
     failures = 0
     advisories = 0
 
+    # An empty record set means the gate would "pass" while checking
+    # nothing — a truncated report or an empty baseline must be loud,
+    # not a silent green.
+    if not baseline:
+        print(f"[FAIL] {baseline_path}: baseline contains zero records — "
+              "the gate has nothing to compare; delete the file or "
+              "regenerate it from a real bench run")
+        return 1, 0
+    if not current:
+        print(f"[FAIL] {current_path}: current report contains zero "
+              "records — the bench produced no measurements, so every "
+              "baseline record would be unchecked")
+        return 1, 0
+
     for key, base in sorted(baseline.items()):
         label = "/".join(key)
         cur = current.get(key)
@@ -213,6 +227,24 @@ def self_test():
         f, _ = check_pair(os.path.join(cur_dir, "BENCH_sky.json"),
                           os.path.join(base_dir, "BENCH_sky.json"), 0.3, 0.75)
         expect("skyline_size change fails", f, True)
+
+        # Zero records on either side is a hard failure, not a vacuous
+        # pass (the empty-intersection bug: a baseline or report with an
+        # empty records array used to sail through the comparison loop).
+        write_report(os.path.join(base_dir, "BENCH_emptybase.json"), [])
+        write_report(os.path.join(cur_dir, "BENCH_emptybase.json"),
+                     [record()])
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_emptybase.json"),
+                          os.path.join(base_dir, "BENCH_emptybase.json"),
+                          0.3, 0.75)
+        expect("empty baseline records is a hard failure", f, True)
+        write_report(os.path.join(base_dir, "BENCH_emptycur.json"),
+                     [record()])
+        write_report(os.path.join(cur_dir, "BENCH_emptycur.json"), [])
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_emptycur.json"),
+                          os.path.join(base_dir, "BENCH_emptycur.json"),
+                          0.3, 0.75)
+        expect("empty current records is a hard failure", f, True)
 
         # RT noise alone never fails.
         write_report(os.path.join(cur_dir, "BENCH_rt.json"),

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Standardized perf scenario set: runs the kernel microbench, the
-# subset-suite bench, the streaming bench and the query-service bench
-# on the fixed scenarios (seed 42) and writes the machine-readable
-# reports
+# subset-suite bench, the streaming bench, the query-service bench and
+# the server bench on the fixed scenarios (seed 42) and writes the
+# machine-readable reports
 #
 #   BENCH_kernels.json     (bench_kernels)
 #   BENCH_subset.json      (bench_subset_suite)
 #   BENCH_streaming.json   (bench_streaming)
 #   BENCH_query.json       (bench_query_service)
+#   BENCH_server.json      (bench_server)
 #
 # to the output directory (default: repo root), so the perf trajectory
 # is diffable PR-over-PR. CI (the perf-smoke job) runs this with
@@ -41,7 +42,7 @@ while [ $# -gt 0 ]; do
 done
 
 BENCHES=(bench_kernels bench_subset_suite bench_streaming
-         bench_query_service)
+         bench_query_service bench_server)
 
 missing=0
 for bench in "${BENCHES[@]}"; do
@@ -70,5 +71,10 @@ echo "==== bench_query_service ${SCALE:-(reduced)} ===="
 "$BUILD_DIR/bench/bench_query_service" $SCALE \
   --json="$OUT_DIR/BENCH_query.json"
 
+echo "==== bench_server ${SCALE:-(reduced)} ===="
+"$BUILD_DIR/bench/bench_server" $SCALE \
+  --json="$OUT_DIR/BENCH_server.json"
+
 echo "Wrote $OUT_DIR/BENCH_kernels.json, $OUT_DIR/BENCH_subset.json," \
-     "$OUT_DIR/BENCH_streaming.json and $OUT_DIR/BENCH_query.json"
+     "$OUT_DIR/BENCH_streaming.json, $OUT_DIR/BENCH_query.json and" \
+     "$OUT_DIR/BENCH_server.json"

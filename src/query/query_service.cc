@@ -252,6 +252,41 @@ std::vector<PointId> QueryService::Query(Subspace v) {
   return finish(std::move(ids));
 }
 
+bool QueryService::PeekExact(Subspace v, std::vector<PointId>* ids) {
+  SKYLINE_ASSERT(!v.empty(), "PeekExact: empty subspace");
+  ReaderLock lock(cache_mu_);
+  auto it = cache_.find(v.bits());
+  if (it == cache_.end()) return false;
+  const EntryPtr& entry = it->second;
+  if (!entry->ready.load(std::memory_order_acquire)) return false;
+  entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  if (ids != nullptr) *ids = entry->published_ids();
+  return true;
+}
+
+bool QueryService::PeekNearestAncestor(Subspace v, Subspace* ancestor,
+                                       std::vector<PointId>* ids) {
+  SKYLINE_ASSERT(!v.empty(), "PeekNearestAncestor: empty subspace");
+  ReaderLock lock(cache_mu_);
+  EntryPtr best;
+  Subspace best_subspace;
+  auto it = cache_.find(v.bits());
+  if (it != cache_.end() &&
+      it->second->ready.load(std::memory_order_acquire)) {
+    best = it->second;  // the exact cuboid beats any proper ancestor
+    best_subspace = v;
+  } else {
+    best = FindBestAncestor(v, &best_subspace);
+  }
+  if (best == nullptr) return false;
+  best->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  if (ancestor != nullptr) *ancestor = best_subspace;
+  if (ids != nullptr) *ids = best->published_ids();
+  return true;
+}
+
 QueryStatsSnapshot QueryService::Stats() const {
   QueryStatsSnapshot snap;
   snap.queries = queries_.load(std::memory_order_relaxed);

@@ -123,6 +123,22 @@ class QueryService {
   /// Copies the current counters; safe to call concurrently.
   QueryStatsSnapshot Stats() const SKYLINE_EXCLUDES(cache_mu_);
 
+  /// Non-blocking exact lookup: if the cuboid `v` is cached and ready,
+  /// copies its ids into `*ids` (when non-null), touches the LRU stamp,
+  /// and returns true. Never computes and never waits on an in-flight
+  /// entry. Counted neither as a hit nor as a query.
+  bool PeekExact(Subspace v, std::vector<PointId>* ids)
+      SKYLINE_EXCLUDES(cache_mu_);
+
+  /// Non-blocking nearest-ancestor lookup: if any ready cached cuboid
+  /// U ⊇ `v` exists (the exact cuboid preferred, otherwise the one with
+  /// the fewest ids), copies its subspace/ids into the non-null
+  /// out-params, touches the LRU stamp, and returns true. Never
+  /// computes and never waits.
+  bool PeekNearestAncestor(Subspace v, Subspace* ancestor,
+                           std::vector<PointId>* ids)
+      SKYLINE_EXCLUDES(cache_mu_);
+
   const Dataset& data() const { return data_; }
   const QueryServiceOptions& options() const { return options_; }
 

@@ -1,0 +1,37 @@
+#include "src/server/client.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/core/contracts.h"
+
+namespace skyline {
+
+ServerResponse QueryWithRetry(SkylineServer& server, Subspace v,
+                              std::chrono::nanoseconds timeout,
+                              const RetryOptions& retry, int* attempts_out) {
+  SKYLINE_ASSERT(retry.max_attempts >= 1,
+                 "QueryWithRetry: max_attempts must be at least 1");
+  SKYLINE_ASSERT(retry.backoff_multiplier >= 1.0,
+                 "QueryWithRetry: backoff_multiplier must be at least 1");
+  ServerResponse response;
+  std::chrono::nanoseconds backoff =
+      std::min(retry.initial_backoff, retry.max_backoff);
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    response = server.Query(v, timeout);
+    if (response.status != StatusCode::kOverloaded ||
+        attempts >= retry.max_attempts) {
+      break;
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    const auto next = std::chrono::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(backoff.count()) * retry.backoff_multiplier));
+    backoff = std::min(next, retry.max_backoff);
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return response;
+}
+
+}  // namespace skyline

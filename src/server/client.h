@@ -1,0 +1,41 @@
+// Client-side helper for SkylineServer: retry transient kOverloaded
+// responses with capped exponential backoff.
+//
+// Only kOverloaded is retried — it is the one transient status: the
+// queue was full at admission, and a later attempt may find room.
+// kDeadlineExceeded / kCancelled / kShutdown are final for the request,
+// and kOk / kStale carry an answer.
+#ifndef SKYLINE_SERVER_CLIENT_H_
+#define SKYLINE_SERVER_CLIENT_H_
+
+#include <chrono>
+
+#include "src/core/subspace.h"
+#include "src/server/server.h"
+
+namespace skyline {
+
+/// Backoff schedule for QueryWithRetry. Attempt k (0-based) sleeps
+/// min(initial_backoff * backoff_multiplier^k, max_backoff) before
+/// retrying.
+struct RetryOptions {
+  int max_attempts = 4;  ///< Total attempts, the first one included.
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(1);
+  double backoff_multiplier = 2.0;
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(50);
+};
+
+/// Submits `v` to `server` and retries while the response is
+/// kOverloaded, sleeping the backoff schedule between attempts. Returns
+/// the first non-overloaded response, or the final kOverloaded one
+/// after max_attempts. `timeout` applies per attempt, not across the
+/// whole retry sequence. When `attempts_out` is non-null it receives
+/// the number of Submit calls made.
+ServerResponse QueryWithRetry(SkylineServer& server, Subspace v,
+                              std::chrono::nanoseconds timeout = kNoTimeout,
+                              const RetryOptions& retry = {},
+                              int* attempts_out = nullptr);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SERVER_CLIENT_H_

@@ -1,0 +1,393 @@
+#include "src/server/server.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "src/core/contracts.h"
+#include "src/skycube/skycube.h"
+
+namespace skyline {
+
+namespace {
+
+std::uint64_t ElapsedNanos(std::chrono::steady_clock::time_point from,
+                           std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "kOk";
+    case StatusCode::kStale:
+      return "kStale";
+    case StatusCode::kOverloaded:
+      return "kOverloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "kCancelled";
+    case StatusCode::kShutdown:
+      return "kShutdown";
+  }
+  return "unknown";
+}
+
+ServerResponse ResponseHandle::Wait() const {
+  SKYLINE_ASSERT(state_ != nullptr, "Wait on an invalid ResponseHandle");
+  ServerResponse out;
+  MutexLock lock(state_->mu);
+  while (!state_->done) state_->cv.Wait(lock);
+  out.status = state_->status;
+  out.ids = state_->ids;
+  out.resolved_at = state_->resolved_at;
+  return out;
+}
+
+bool ResponseHandle::TryGet(ServerResponse* out) const {
+  SKYLINE_ASSERT(state_ != nullptr, "TryGet on an invalid ResponseHandle");
+  MutexLock lock(state_->mu);
+  if (!state_->done) return false;
+  if (out != nullptr) {
+    out->status = state_->status;
+    out->ids = state_->ids;
+    out->resolved_at = state_->resolved_at;
+  }
+  return true;
+}
+
+void SkylineServer::Resolve(internal::ServerResultState& state,
+                            StatusCode status, std::vector<PointId> ids) {
+  {
+    MutexLock lock(state.mu);
+    if (state.done) return;
+    state.done = true;
+    state.status = status;
+    state.ids = std::move(ids);
+    state.resolved_at = std::chrono::steady_clock::now();
+  }
+  state.cv.NotifyAll();
+}
+
+SkylineServer::SkylineServer(const Dataset& data, ServerOptions options)
+    : options_(std::move(options)), service_(data, options_.query) {
+  if (options_.auto_start) Start();
+}
+
+SkylineServer::~SkylineServer() {
+  std::vector<Pending> orphans;
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+    orphans.reserve(queue_.size());
+    std::move(queue_.begin(), queue_.end(), std::back_inserter(orphans));
+    queue_.clear();
+  }
+  queue_cv_.NotifyAll();
+  for (Pending& p : orphans) Resolve(*p.state, StatusCode::kShutdown, {});
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void SkylineServer::Start() {
+  const unsigned count =
+      options_.workers != 0
+          ? options_.workers
+          : std::max(1u, std::thread::hardware_concurrency());
+  MutexLock lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ResponseHandle SkylineServer::Submit(Subspace v,
+                                     std::chrono::nanoseconds timeout,
+                                     CancellationToken token) {
+  SKYLINE_ASSERT(!v.empty(), "Submit: empty subspace");
+  SKYLINE_ASSERT(v.IsSubsetOf(Subspace::Full(service_.data().num_dims())),
+                 "Submit: subspace outside the dataset's space");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<internal::ServerResultState>();
+  ResponseHandle handle(state);
+
+  if (options_.inline_fast_hits) {
+    std::vector<PointId> ids;
+    if (service_.PeekExact(v, &ids)) {
+      fast_hits_.fetch_add(1, std::memory_order_relaxed);
+      Resolve(*state, StatusCode::kOk, std::move(ids));
+      return handle;
+    }
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline = timeout == kNoTimeout
+                            ? std::chrono::steady_clock::time_point::max()
+                            : now + timeout;
+
+  bool shutdown = false;
+  bool reject = false;
+  bool serve_stale = false;
+  std::vector<Pending> shed;  // resolved after the lock is dropped
+  {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      shutdown = true;
+    } else {
+      if (queue_.size() >= options_.queue_capacity &&
+          options_.policy != OverloadPolicy::kReject) {
+        // Make room by shedding queued entries that are already past
+        // their deadline (or cancelled) — they would be shed at
+        // dispatch anyway.
+        std::deque<Pending> rest;
+        for (Pending& p : queue_) {
+          if (p.deadline <= now || p.token.cancelled()) {
+            shed.push_back(std::move(p));
+          } else {
+            rest.push_back(std::move(p));
+          }
+        }
+        queue_.swap(rest);
+      }
+      if (queue_.size() >= options_.queue_capacity) {
+        if (options_.policy == OverloadPolicy::kServeStale) {
+          serve_stale = true;
+        } else {
+          reject = true;
+        }
+      } else {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        queue_.push_back(Pending{v, deadline, now, std::move(token), state});
+        queue_cv_.NotifyOne();
+      }
+    }
+  }
+  for (Pending& p : shed) {
+    if (p.token.cancelled()) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      Resolve(*p.state, StatusCode::kCancelled, {});
+    } else {
+      shed_expired_.fetch_add(1, std::memory_order_relaxed);
+      Resolve(*p.state, StatusCode::kDeadlineExceeded, {});
+    }
+  }
+  if (shutdown) {
+    Resolve(*state, StatusCode::kShutdown, {});
+  } else if (reject) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Resolve(*state, StatusCode::kOverloaded, {});
+  } else if (serve_stale) {
+    std::vector<PointId> ids;
+    StatusCode status = StatusCode::kOverloaded;
+    if (TryStaleAnswer(v, &ids, &status)) {
+      if (status == StatusCode::kStale) {
+        stale_served_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        fast_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      Resolve(*state, status, std::move(ids));
+    } else {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      Resolve(*state, StatusCode::kOverloaded, {});
+    }
+  }
+  return handle;
+}
+
+ServerResponse SkylineServer::Query(Subspace v,
+                                    std::chrono::nanoseconds timeout) {
+  return Submit(v, timeout).Wait();
+}
+
+void SkylineServer::WorkerLoop() {
+  for (;;) {
+    std::vector<CuboidGroup> groups;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) queue_cv_.Wait(lock);
+      if (queue_.empty()) return;  // stopping, nothing left to drain
+      groups = GatherBatch();
+    }
+    ProcessBatch(std::move(groups));
+  }
+}
+
+std::vector<SkylineServer::CuboidGroup> SkylineServer::GatherBatch() {
+  const std::size_t cap = std::max<std::size_t>(1, options_.max_batch_cuboids);
+  std::vector<CuboidGroup> groups;
+  std::deque<Pending> rest;
+  for (Pending& p : queue_) {
+    CuboidGroup* group = nullptr;
+    for (CuboidGroup& g : groups) {
+      if (g.v.bits() == p.v.bits()) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr && groups.size() < cap) {
+      groups.push_back(CuboidGroup{p.v, {}});
+      group = &groups.back();
+    }
+    if (group != nullptr) {
+      group->waiters.push_back(std::move(p));
+    } else {
+      rest.push_back(std::move(p));
+    }
+  }
+  queue_.swap(rest);
+  return groups;
+}
+
+void SkylineServer::ProcessBatch(std::vector<CuboidGroup> groups) {
+  const auto dispatch_time = std::chrono::steady_clock::now();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_cuboids_.fetch_add(groups.size(), std::memory_order_relaxed);
+  std::uint64_t num_requests = 0;
+  for (const CuboidGroup& g : groups) {
+    for (const Pending& p : g.waiters) {
+      ++num_requests;
+      queue_wait_.Record(ElapsedNanos(p.enqueued_at, dispatch_time));
+    }
+  }
+  batched_requests_.fetch_add(num_requests, std::memory_order_relaxed);
+
+  // Deterministic compute order: larger cuboids first, so results of
+  // this cycle can seed its smaller members through the cuboid cache.
+  std::sort(groups.begin(), groups.end(),
+            [](const CuboidGroup& a, const CuboidGroup& b) {
+              if (a.v.size() != b.v.size()) return a.v.size() > b.v.size();
+              return a.v.bits() < b.v.bits();
+            });
+
+  // Dispatch-time triage: cancelled requests resolve now; expired ones
+  // are shed or stale-served per policy (under kReject deadlines are
+  // advisory and expired requests stay on the exact path).
+  for (CuboidGroup& g : groups) {
+    std::vector<Pending> live;
+    std::vector<Pending> expired;
+    live.reserve(g.waiters.size());
+    for (Pending& p : g.waiters) {
+      if (p.token.cancelled()) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        Resolve(*p.state, StatusCode::kCancelled, {});
+      } else if (p.deadline <= dispatch_time &&
+                 options_.policy != OverloadPolicy::kReject) {
+        expired.push_back(std::move(p));
+      } else {
+        live.push_back(std::move(p));
+      }
+    }
+    if (!expired.empty()) {
+      std::vector<PointId> ids;
+      StatusCode status = StatusCode::kDeadlineExceeded;
+      if (options_.policy == OverloadPolicy::kServeStale &&
+          TryStaleAnswer(g.v, &ids, &status)) {
+        if (status == StatusCode::kStale) {
+          stale_served_.fetch_add(expired.size(), std::memory_order_relaxed);
+        } else {
+          fast_hits_.fetch_add(expired.size(), std::memory_order_relaxed);
+        }
+        for (std::size_t i = 0; i < expired.size(); ++i) {
+          Resolve(*expired[i].state, status,
+                  i + 1 == expired.size() ? std::move(ids) : ids);
+        }
+      } else {
+        shed_expired_.fetch_add(expired.size(), std::memory_order_relaxed);
+        for (Pending& p : expired) {
+          Resolve(*p.state, StatusCode::kDeadlineExceeded, {});
+        }
+      }
+    }
+    g.waiters = std::move(live);
+  }
+
+  // Union seeding: when several distinct cuboids of this cycle have no
+  // cached ancestor, one compute of their union gives the whole cycle a
+  // shared seed — one full-dataset scan instead of one per member.
+  if (options_.union_seed_threshold > 0) {
+    std::uint64_t union_bits = 0;
+    std::size_t unseeded = 0;
+    for (const CuboidGroup& g : groups) {
+      if (g.waiters.empty()) continue;
+      if (!service_.PeekNearestAncestor(g.v, nullptr, nullptr)) {
+        union_bits |= g.v.bits();
+        ++unseeded;
+      }
+    }
+    if (unseeded >= options_.union_seed_threshold) {
+      bool union_is_member = false;
+      for (const CuboidGroup& g : groups) {
+        if (!g.waiters.empty() && g.v.bits() == union_bits) {
+          union_is_member = true;
+          break;
+        }
+      }
+      if (!union_is_member) {
+        service_.Query(Subspace(union_bits));
+        union_seeds_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  for (CuboidGroup& g : groups) {
+    if (g.waiters.empty()) continue;
+    std::vector<PointId> ids = service_.Query(g.v);
+    const auto resolve_time = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < g.waiters.size(); ++i) {
+      Pending& p = g.waiters[i];
+      if (p.deadline <= resolve_time) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      Resolve(*p.state, StatusCode::kOk,
+              i + 1 == g.waiters.size() ? std::move(ids) : ids);
+    }
+  }
+}
+
+bool SkylineServer::TryStaleAnswer(Subspace v, std::vector<PointId>* ids,
+                                   StatusCode* status) {
+  Subspace ancestor;
+  std::vector<PointId> seed;
+  if (!service_.PeekNearestAncestor(v, &ancestor, &seed)) return false;
+  if (ancestor.bits() == v.bits()) {
+    *ids = std::move(seed);  // exact and current — a plain cache hit
+    *status = StatusCode::kOk;
+    return true;
+  }
+  std::uint64_t tests = 0;
+  std::vector<PointId> core =
+      SubspaceSkylineOverCandidates(service_.data(), v, seed, &tests);
+  stale_tests_.fetch_add(tests, std::memory_order_relaxed);
+  std::sort(core.begin(), core.end());
+  *ids = std::move(core);
+  *status = StatusCode::kStale;
+  return true;
+}
+
+ServerStatsSnapshot SkylineServer::Stats() const {
+  ServerStatsSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.admitted = admitted_.load(std::memory_order_relaxed);
+  snap.fast_hits = fast_hits_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.shed_expired = shed_expired_.load(std::memory_order_relaxed);
+  snap.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  snap.cancelled = cancelled_.load(std::memory_order_relaxed);
+  snap.stale_served = stale_served_.load(std::memory_order_relaxed);
+  snap.stale_tests = stale_tests_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.batched_cuboids = batched_cuboids_.load(std::memory_order_relaxed);
+  snap.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  snap.union_seeds = union_seeds_.load(std::memory_order_relaxed);
+  snap.queue_wait = queue_wait_.Snap();
+  snap.query = service_.Stats();
+  return snap;
+}
+
+}  // namespace skyline

@@ -1,0 +1,333 @@
+// Deadline-aware batched admission front-end for QueryService — the
+// asynchronous serving layer of the skyline system.
+//
+// QueryService (src/query) answers one subspace-skyline query per
+// caller thread, synchronously: under a burst of misses every caller
+// blocks on a cuboid computation with no deadline, no backpressure and
+// no way to shed load. SkylineServer puts an admission + batching layer
+// in front of it:
+//
+//   * Admission: Submit() never computes. It places the request on a
+//     bounded queue and returns a ResponseHandle immediately; the
+//     caller blocks only if and when it chooses to Wait(). A full queue
+//     triggers the configured OverloadPolicy instead of unbounded
+//     queueing.
+//   * Batching: a worker pool drains the queue in dispatch cycles. One
+//     cycle gathers up to `max_batch_cuboids` distinct cuboids plus
+//     EVERY queued duplicate of them (same-cuboid coalescing), so a
+//     Zipf-hot cuboid is computed once per cycle no matter how many
+//     requests queued behind it. When a cycle holds several distinct
+//     cuboids that are not yet seeded by a cached ancestor, the worker
+//     first computes their UNION cuboid once and lets the cuboid cache
+//     seed every member from it — one full-dataset scan amortized over
+//     the whole batch instead of one scan per member (the top-down
+//     skycube sharing scheme applied to the request stream itself).
+//   * Deadlines: every request carries a relative timeout (kNoTimeout =
+//     none). Deadlines are enforced at dispatch time: a request that
+//     expired while queued is shed (kDeadlineExceeded), served a
+//     bounded-staleness answer from the nearest cached ancestor
+//     (kStale), or served exactly anyway and counted as a soft miss —
+//     depending on the policy. Expiry during a compute never aborts the
+//     compute; the result is served and counted as a deadline miss.
+//   * Cancellation: a CancellationToken resolves the request with
+//     kCancelled at its next dispatch; best-effort (a request already
+//     being computed still completes as kOk).
+//
+// Status contract (tests/server/ asserts it): kOk answers are EXACT and
+// ascending; kStale answers are a sorted SUBSET of the exact answer
+// (every returned id is truly in the skyline — only duplicate-
+// projection ties may be missing); every other status carries no ids.
+//
+// See docs/server.md for the admission/batching/degradation state
+// machine and its invariants; src/server/client.h adds the
+// retry-with-backoff client helper for transient kOverloaded results.
+#ifndef SKYLINE_SERVER_SERVER_H_
+#define SKYLINE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/subspace.h"
+#include "src/core/sync.h"
+#include "src/harness/histogram.h"
+#include "src/query/query_service.h"
+
+namespace skyline {
+
+/// Terminal status of a submitted request.
+enum class StatusCode {
+  kOk,                ///< Exact answer, ids ascending.
+  kStale,             ///< Degraded answer: sorted subset of the exact one.
+  kOverloaded,        ///< Rejected at admission (queue full). Retryable.
+  kDeadlineExceeded,  ///< Shed: the deadline passed before dispatch.
+  kCancelled,         ///< The request's CancellationToken fired.
+  kShutdown,          ///< Server destroyed before the request dispatched.
+};
+
+/// Human-readable status name ("kOk", ...), for logs and tests.
+const char* StatusCodeName(StatusCode code);
+
+/// No-deadline sentinel for Submit()'s relative timeout.
+inline constexpr std::chrono::nanoseconds kNoTimeout =
+    std::chrono::nanoseconds::max();
+
+/// How admission and dispatch degrade under pressure.
+enum class OverloadPolicy {
+  /// Full queue: reject with kOverloaded. Deadlines are advisory —
+  /// expired requests are still served exactly and only counted as
+  /// deadline misses.
+  kReject,
+  /// Full queue: first shed queued requests whose deadline already
+  /// passed (kDeadlineExceeded), then admit if room, else reject.
+  /// Expired requests are shed at dispatch instead of computed.
+  kShedExpired,
+  /// Like kShedExpired, but an expired or inadmissible request is
+  /// served a bounded-staleness answer from the nearest cached ancestor
+  /// cuboid (kStale) instead of being dropped, when one exists.
+  kServeStale,
+};
+
+/// Tuning knobs of the serving layer.
+struct ServerOptions {
+  /// Bound on queued (admitted, undispatched) requests. A Submit that
+  /// finds the queue full triggers `policy`. 0 is legal and makes every
+  /// Submit an overload (useful for testing the degradation paths).
+  std::size_t queue_capacity = 1024;
+
+  /// Worker threads draining the queue; 0 = hardware pick.
+  unsigned workers = 0;
+
+  /// Degradation policy under overload and for expired requests.
+  OverloadPolicy policy = OverloadPolicy::kShedExpired;
+
+  /// Distinct cuboids gathered per dispatch cycle. 1 disables
+  /// cross-cuboid batching (same-cuboid coalescing always applies).
+  std::size_t max_batch_cuboids = 16;
+
+  /// Compute the union cuboid as a shared seed when a dispatch cycle
+  /// holds at least this many distinct unseeded cuboids; 0 disables
+  /// union seeding.
+  std::size_t union_seed_threshold = 2;
+
+  /// Resolve a Submit whose exact cuboid is already cached and ready
+  /// inline, without queueing — cache hits then never pay queue latency
+  /// or a dispatch cycle.
+  bool inline_fast_hits = true;
+
+  /// Spawn the worker pool in the constructor. With false, the server
+  /// only queues until Start() is called — deterministic batch
+  /// composition for tests and benchmarks.
+  bool auto_start = true;
+
+  /// Options of the inner QueryService (cache bounds, pinning, seeded
+  /// kernels, ...).
+  QueryServiceOptions query;
+};
+
+/// Cooperative cancellation handle; copyable, thread-safe. All copies
+/// share one flag.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Terminal answer of one request.
+struct ServerResponse {
+  StatusCode status = StatusCode::kShutdown;
+  /// kOk: the exact skyline ids, ascending. kStale: a sorted subset of
+  /// them. Empty for every other status.
+  std::vector<PointId> ids;
+  /// When the server resolved the request (steady clock) — lets callers
+  /// compute true request latency without measuring their own Wait()
+  /// wakeup delay.
+  std::chrono::steady_clock::time_point resolved_at{};
+
+  bool ok() const {
+    return status == StatusCode::kOk || status == StatusCode::kStale;
+  }
+};
+
+namespace internal {
+
+/// Shared one-shot slot a request is resolved into. Resolved exactly
+/// once (done flips under mu); waiters block on cv.
+struct ServerResultState {
+  Mutex mu;
+  CondVar cv;
+  bool done SKYLINE_GUARDED_BY(mu) = false;
+  StatusCode status SKYLINE_GUARDED_BY(mu) = StatusCode::kShutdown;
+  std::vector<PointId> ids SKYLINE_GUARDED_BY(mu);
+  std::chrono::steady_clock::time_point resolved_at SKYLINE_GUARDED_BY(mu);
+};
+
+}  // namespace internal
+
+/// Caller-side view of a submitted request. Cheap to copy; outlives the
+/// server (a handle resolved kShutdown stays readable after the server
+/// is gone).
+class ResponseHandle {
+ public:
+  ResponseHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the request resolves; repeatable (returns a copy).
+  ServerResponse Wait() const;
+
+  /// Non-blocking poll: copies the response into `*out` and returns
+  /// true once resolved.
+  bool TryGet(ServerResponse* out) const;
+
+ private:
+  friend class SkylineServer;
+  explicit ResponseHandle(std::shared_ptr<internal::ServerResultState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::ServerResultState> state_;
+};
+
+/// Counters of the serving layer, cumulative since construction, plus
+/// the inner QueryService snapshot.
+struct ServerStatsSnapshot {
+  std::uint64_t submitted = 0;     ///< Submit() calls.
+  std::uint64_t admitted = 0;      ///< Entered the queue.
+  std::uint64_t fast_hits = 0;     ///< Resolved inline from the cache.
+  std::uint64_t rejected = 0;      ///< kOverloaded at admission.
+  std::uint64_t shed_expired = 0;  ///< kDeadlineExceeded (queue or dispatch).
+  std::uint64_t deadline_misses = 0;  ///< kOk served past the deadline.
+  std::uint64_t cancelled = 0;        ///< kCancelled at dispatch.
+  std::uint64_t stale_served = 0;     ///< kStale responses.
+  std::uint64_t stale_tests = 0;   ///< Dominance tests on the stale path.
+  std::uint64_t batches = 0;       ///< Dispatch cycles.
+  std::uint64_t batched_cuboids = 0;   ///< Distinct cuboids dispatched.
+  std::uint64_t batched_requests = 0;  ///< Requests dispatched.
+  std::uint64_t union_seeds = 0;  ///< Union cuboids computed as batch seeds.
+  LatencyHistogram::Snapshot queue_wait;  ///< Submit-to-dispatch wait.
+  QueryStatsSnapshot query;               ///< Inner QueryService counters.
+
+  /// Requests per dispatch cycle — the coalescing factor.
+  double MeanBatchSize() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+/// Asynchronous, deadline-aware, batching skyline server over one
+/// Dataset (which must outlive the server and stay unmodified). All
+/// public methods are safe to call concurrently.
+class SkylineServer {
+ public:
+  explicit SkylineServer(const Dataset& data, ServerOptions options = {});
+
+  /// Resolves every still-queued request with kShutdown, then joins the
+  /// workers. In-flight computations finish and resolve normally.
+  ~SkylineServer();
+
+  SkylineServer(const SkylineServer&) = delete;
+  SkylineServer& operator=(const SkylineServer&) = delete;
+
+  /// Spawns the worker pool; idempotent. Only needed with
+  /// ServerOptions::auto_start == false.
+  void Start() SKYLINE_EXCLUDES(mu_);
+
+  /// Non-blocking admission of a skyline query for the non-empty
+  /// subspace `v` with a relative deadline of `timeout` (kNoTimeout =
+  /// none; <= 0 = already expired, subject to the overload policy at
+  /// dispatch). The returned handle always resolves — with one of the
+  /// StatusCode outcomes — even across server shutdown.
+  ResponseHandle Submit(Subspace v,
+                        std::chrono::nanoseconds timeout = kNoTimeout,
+                        CancellationToken token = {}) SKYLINE_EXCLUDES(mu_);
+
+  /// Convenience: Submit + Wait.
+  ServerResponse Query(Subspace v,
+                       std::chrono::nanoseconds timeout = kNoTimeout)
+      SKYLINE_EXCLUDES(mu_);
+
+  /// Copies the current counters; safe to call concurrently.
+  ServerStatsSnapshot Stats() const SKYLINE_EXCLUDES(mu_);
+
+  const ServerOptions& options() const { return options_; }
+  const QueryService& service() const { return service_; }
+
+ private:
+  /// One admitted, undispatched request.
+  struct Pending {
+    Subspace v;
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point enqueued_at;
+    CancellationToken token;
+    std::shared_ptr<internal::ServerResultState> state;
+  };
+
+  /// All requests of one distinct cuboid within a dispatch cycle.
+  struct CuboidGroup {
+    Subspace v;
+    std::vector<Pending> waiters;
+  };
+
+  /// Resolves `state` exactly once; later calls are no-ops.
+  static void Resolve(internal::ServerResultState& state, StatusCode status,
+                      std::vector<PointId> ids);
+
+  void WorkerLoop() SKYLINE_EXCLUDES(mu_);
+
+  /// Pops the next dispatch cycle off the queue: up to
+  /// `max_batch_cuboids` distinct cuboids from the front plus every
+  /// queued duplicate of them.
+  std::vector<CuboidGroup> GatherBatch() SKYLINE_REQUIRES(mu_);
+
+  /// Computes / sheds / stale-serves one gathered cycle.
+  void ProcessBatch(std::vector<CuboidGroup> groups) SKYLINE_EXCLUDES(mu_);
+
+  /// Bounded-staleness answer for `v` from the nearest cached ancestor:
+  /// `*status` is kOk when the exact cuboid is cached, kStale (sorted
+  /// subset) when computed from an ancestor's candidates. Returns false
+  /// — caller picks the fallback status — when nothing is cached. Never
+  /// touches the full dataset.
+  bool TryStaleAnswer(Subspace v, std::vector<PointId>* ids,
+                      StatusCode* status);
+
+  const ServerOptions options_;
+  QueryService service_;  // unguarded: internally synchronized
+
+  mutable Mutex mu_;
+  CondVar queue_cv_;
+  std::deque<Pending> queue_ SKYLINE_GUARDED_BY(mu_);
+  bool stopping_ SKYLINE_GUARDED_BY(mu_) = false;
+  bool started_ SKYLINE_GUARDED_BY(mu_) = false;
+  // Written only while holding mu_ in Start(); joined in the destructor
+  // after every worker exited, so never accessed concurrently.
+  std::vector<std::thread> workers_;  // unguarded: joined before access
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> fast_hits_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_expired_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> stale_served_{0};
+  std::atomic<std::uint64_t> stale_tests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_cuboids_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> union_seeds_{0};
+  LatencyHistogram queue_wait_;  // unguarded: internally lock-free atomics
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SERVER_SERVER_H_

@@ -1,0 +1,323 @@
+// Unit tests of the SkylineServer admission/batching/degradation layer:
+// exact answers, inline fast hits, deferred start, same-cuboid
+// coalescing, union seeding, every overload policy, cancellation,
+// shutdown, deadline accounting, and the retry client.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/data/generator.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/skycube/skycube.h"
+
+namespace skyline {
+namespace {
+
+using std::chrono::nanoseconds;
+
+std::map<std::uint64_t, std::vector<PointId>> AllOracles(const Dataset& data) {
+  std::map<std::uint64_t, std::vector<PointId>> oracles;
+  for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << data.num_dims());
+       ++bits) {
+    oracles[bits] = SubspaceSkyline(data, Subspace(bits));
+  }
+  return oracles;
+}
+
+bool IsSortedSubsetOf(const std::vector<PointId>& sub,
+                      const std::vector<PointId>& super) {
+  return std::is_sorted(sub.begin(), sub.end()) &&
+         std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+TEST(SkylineServerTest, AnswersEveryCuboidExactly) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 300, 4, 81);
+  const auto oracles = AllOracles(data);
+  SkylineServer server(data);
+  for (const auto& [bits, oracle] : oracles) {
+    const ServerResponse response = server.Query(Subspace(bits));
+    EXPECT_EQ(response.status, StatusCode::kOk) << bits;
+    EXPECT_EQ(response.ids, oracle) << bits;
+  }
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.submitted, oracles.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed_expired, 0u);
+}
+
+TEST(SkylineServerTest, RepeatQueryResolvesInlineAsFastHit) {
+  const Dataset data = Generate(DataType::kCorrelated, 200, 3, 82);
+  SkylineServer server(data);
+  const Subspace v(0b011);
+  const ServerResponse first = server.Query(v);
+  const ServerResponse second = server.Query(v);
+  EXPECT_EQ(first.status, StatusCode::kOk);
+  EXPECT_EQ(second.status, StatusCode::kOk);
+  EXPECT_EQ(first.ids, second.ids);
+  EXPECT_GE(server.Stats().fast_hits, 1u);
+  // The pinned full space is cached from construction: inline fast hit.
+  const ServerResponse full = server.Query(Subspace::Full(3));
+  EXPECT_EQ(full.status, StatusCode::kOk);
+  EXPECT_GE(server.Stats().fast_hits, 2u);
+}
+
+TEST(SkylineServerTest, DeferredStartQueuesUntilStart) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 200, 4, 83);
+  ServerOptions options;
+  options.auto_start = false;
+  options.inline_fast_hits = false;  // keep even cached cuboids queued
+  SkylineServer server(data, options);
+  std::vector<ResponseHandle> handles;
+  for (std::uint64_t bits = 1; bits <= 5; ++bits) {
+    handles.push_back(server.Submit(Subspace(bits)));
+  }
+  ServerResponse probe;
+  for (const ResponseHandle& h : handles) {
+    EXPECT_TRUE(h.valid());
+    EXPECT_FALSE(h.TryGet(&probe));  // nothing dispatches before Start
+  }
+  server.Start();
+  for (std::uint64_t bits = 1; bits <= 5; ++bits) {
+    const ServerResponse response = handles[bits - 1].Wait();
+    EXPECT_EQ(response.status, StatusCode::kOk);
+    EXPECT_EQ(response.ids, SubspaceSkyline(data, Subspace(bits)));
+  }
+}
+
+TEST(SkylineServerTest, SameCuboidRequestsCoalesceIntoOneCompute) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 250, 4, 84);
+  ServerOptions options;
+  options.auto_start = false;
+  options.workers = 1;
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+  const Subspace v(0b0101);
+  std::vector<ResponseHandle> handles;
+  for (int i = 0; i < 16; ++i) handles.push_back(server.Submit(v));
+  server.Start();
+  const std::vector<PointId> oracle = SubspaceSkyline(data, v);
+  for (const ResponseHandle& h : handles) {
+    const ServerResponse response = h.Wait();
+    EXPECT_EQ(response.status, StatusCode::kOk);
+    EXPECT_EQ(response.ids, oracle);
+  }
+  const ServerStatsSnapshot stats = server.Stats();
+  // All 16 queued before the single worker started: one dispatch cycle,
+  // one distinct cuboid, one inner Query.
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_cuboids, 1u);
+  EXPECT_EQ(stats.batched_requests, 16u);
+  EXPECT_EQ(stats.query.queries, 1u);
+  EXPECT_EQ(stats.queue_wait.total, 16u);
+}
+
+TEST(SkylineServerTest, UnionSeedAmortizesColdScansAcrossBatch) {
+  const Dataset data = Generate(DataType::kAntiCorrelated, 300, 4, 85);
+  ServerOptions options;
+  options.auto_start = false;
+  options.workers = 1;
+  options.union_seed_threshold = 2;
+  options.query.pin_full_space = false;  // no universal ancestor
+  SkylineServer server(data, options);
+  const Subspace a(0b0001);
+  const Subspace b(0b0010);
+  ResponseHandle ha = server.Submit(a);
+  ResponseHandle hb = server.Submit(b);
+  server.Start();
+  EXPECT_EQ(ha.Wait().ids, SubspaceSkyline(data, a));
+  EXPECT_EQ(hb.Wait().ids, SubspaceSkyline(data, b));
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.union_seeds, 1u);
+  // One cold scan (the union 0b0011), both members seeded from it.
+  EXPECT_EQ(stats.query.cold, 1u);
+  EXPECT_EQ(stats.query.seeded, 2u);
+}
+
+TEST(SkylineServerTest, RejectPolicyOverloadsOnZeroCapacity) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 150, 3, 86);
+  ServerOptions options;
+  options.auto_start = false;  // workers never needed
+  options.queue_capacity = 0;
+  options.policy = OverloadPolicy::kReject;
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+  const ServerResponse response = server.Query(Subspace(0b001));
+  EXPECT_EQ(response.status, StatusCode::kOverloaded);
+  EXPECT_TRUE(response.ids.empty());
+  EXPECT_EQ(server.Stats().rejected, 1u);
+}
+
+TEST(SkylineServerTest, ServeStalePolicyDegradesAtAdmission) {
+  const Dataset data = Generate(DataType::kAntiCorrelated, 300, 4, 87);
+  const auto oracles = AllOracles(data);
+  ServerOptions options;
+  options.auto_start = false;
+  options.queue_capacity = 0;  // every Submit is an overload
+  options.policy = OverloadPolicy::kServeStale;
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);  // pinned full space = the ancestor
+  for (std::uint64_t bits = 1; bits < 15; ++bits) {
+    const ServerResponse response = server.Query(Subspace(bits));
+    EXPECT_EQ(response.status, StatusCode::kStale) << bits;
+    EXPECT_TRUE(IsSortedSubsetOf(response.ids, oracles.at(bits))) << bits;
+    EXPECT_FALSE(response.ids.empty()) << bits;  // core is never empty here
+  }
+  // The exact full-space cuboid is cached: the stale path returns it
+  // exactly, as kOk.
+  const ServerResponse full = server.Query(Subspace::Full(4));
+  EXPECT_EQ(full.status, StatusCode::kOk);
+  EXPECT_EQ(full.ids, oracles.at(15));
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.stale_served, 14u);
+  EXPECT_GT(stats.stale_tests, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(SkylineServerTest, ServeStaleFallsBackToOverloadedWithoutAncestor) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 150, 3, 88);
+  ServerOptions options;
+  options.auto_start = false;
+  options.queue_capacity = 0;
+  options.policy = OverloadPolicy::kServeStale;
+  options.query.pin_full_space = false;  // empty cache: nothing to serve
+  SkylineServer server(data, options);
+  const ServerResponse response = server.Query(Subspace(0b001));
+  EXPECT_EQ(response.status, StatusCode::kOverloaded);
+  EXPECT_EQ(server.Stats().rejected, 1u);
+}
+
+TEST(SkylineServerTest, ShedExpiredDropsPastDeadlineRequestsAtDispatch) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 200, 4, 89);
+  ServerOptions options;
+  options.auto_start = false;
+  options.workers = 1;
+  options.policy = OverloadPolicy::kShedExpired;
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+  std::vector<ResponseHandle> handles;
+  for (std::uint64_t bits = 1; bits <= 6; ++bits) {
+    handles.push_back(server.Submit(Subspace(bits), nanoseconds(0)));
+  }
+  server.Start();
+  for (const ResponseHandle& h : handles) {
+    const ServerResponse response = h.Wait();
+    EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(response.ids.empty());
+  }
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.shed_expired, 6u);
+  EXPECT_EQ(stats.query.queries, 0u);  // shed before any compute
+}
+
+TEST(SkylineServerTest, RejectPolicyTreatsDeadlinesAsAdvisory) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 200, 4, 90);
+  ServerOptions options;
+  options.auto_start = false;
+  options.workers = 1;
+  options.policy = OverloadPolicy::kReject;
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+  const Subspace v(0b0110);
+  ResponseHandle handle = server.Submit(v, nanoseconds(0));
+  server.Start();
+  const ServerResponse response = handle.Wait();
+  EXPECT_EQ(response.status, StatusCode::kOk);  // served exactly anyway
+  EXPECT_EQ(response.ids, SubspaceSkyline(data, v));
+  EXPECT_EQ(server.Stats().deadline_misses, 1u);
+  EXPECT_EQ(server.Stats().shed_expired, 0u);
+}
+
+TEST(SkylineServerTest, CancellationResolvesAtDispatch) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 200, 4, 91);
+  ServerOptions options;
+  options.auto_start = false;
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+  CancellationToken token;
+  ResponseHandle handle = server.Submit(Subspace(0b0011), kNoTimeout, token);
+  token.Cancel();
+  server.Start();
+  const ServerResponse response = handle.Wait();
+  EXPECT_EQ(response.status, StatusCode::kCancelled);
+  EXPECT_TRUE(response.ids.empty());
+  EXPECT_EQ(server.Stats().cancelled, 1u);
+}
+
+TEST(SkylineServerTest, DestructionResolvesQueuedRequestsAsShutdown) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 150, 3, 92);
+  ResponseHandle handle;
+  {
+    ServerOptions options;
+    options.auto_start = false;  // never started: the request stays queued
+    options.inline_fast_hits = false;
+    SkylineServer server(data, options);
+    handle = server.Submit(Subspace(0b101));
+  }
+  const ServerResponse response = handle.Wait();  // handle outlives the server
+  EXPECT_EQ(response.status, StatusCode::kShutdown);
+  EXPECT_TRUE(response.ids.empty());
+}
+
+TEST(SkylineServerTest, StatsAreInternallyConsistent) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 250, 4, 93);
+  SkylineServer server(data);
+  for (std::uint64_t bits = 1; bits < 16; ++bits) {
+    server.Query(Subspace(bits));
+    server.Query(Subspace(bits));  // second round: inline fast hits
+  }
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 30u);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.fast_hits);
+  EXPECT_EQ(stats.batched_requests, stats.admitted);
+  EXPECT_EQ(stats.queue_wait.total, stats.admitted);
+  EXPECT_GT(stats.MeanBatchSize(), 0.0);
+}
+
+TEST(SkylineServerTest, StatusCodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "kOk");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kStale), "kStale");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOverloaded), "kOverloaded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "kDeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "kCancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kShutdown), "kShutdown");
+}
+
+TEST(RetryClientTest, ReturnsFirstSuccessWithoutRetrying) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 200, 3, 94);
+  SkylineServer server(data);
+  int attempts = 0;
+  const ServerResponse response =
+      QueryWithRetry(server, Subspace(0b011), kNoTimeout, {}, &attempts);
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_EQ(response.ids, SubspaceSkyline(data, Subspace(0b011)));
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryClientTest, ExhaustsAttemptsOnPersistentOverload) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 150, 3, 95);
+  ServerOptions options;
+  options.auto_start = false;
+  options.queue_capacity = 0;  // overload is permanent
+  options.policy = OverloadPolicy::kReject;
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff = std::chrono::microseconds(10);
+  retry.max_backoff = std::chrono::microseconds(40);
+  int attempts = 0;
+  const ServerResponse response =
+      QueryWithRetry(server, Subspace(0b010), kNoTimeout, retry, &attempts);
+  EXPECT_EQ(response.status, StatusCode::kOverloaded);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(server.Stats().rejected, 3u);
+}
+
+}  // namespace
+}  // namespace skyline
