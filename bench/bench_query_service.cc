@@ -21,8 +21,18 @@
 //   query-hit-pct    [cache hits per 100 queries]
 //   query-seeded-pct [ancestor-seeded misses per 100 queries]
 //
-// Every service answer is verified against SubspaceSkyline before being
-// reported, so the perf pipeline doubles as an equivalence check.
+// The mixed scenario interleaves the same Zipf query stream with
+// deterministic ApplyUpdate bursts (every 16th op; every third burst
+// also removes a member of the hottest cached cuboid so the
+// invalidation path stays on the measured profile):
+//
+//   query-mixed-service [dominance tests / op — queries, repairs and
+//                        pinned recomputes included]
+//   query-mixed-hit-pct [cache hits per 100 queries in the mix]
+//
+// Every service answer is verified against SubspaceSkyline (the mixed
+// scenario against a live-filtered recompute oracle, periodically and
+// at the end), so the perf pipeline doubles as an equivalence check.
 //
 // Usage: bench_query_service [--quick|--full] [--seed=N] [--json=PATH]
 #include <algorithm>
@@ -87,6 +97,23 @@ std::vector<Subspace> MakeQueryStream(Dim d, std::size_t num_queries,
     stream.push_back(Subspace(masks[zipf.Next()]));
   }
   return stream;
+}
+
+/// Live-filtered recompute oracle for the mixed scenario: densify the
+/// live rows of `version`, run the reference SubspaceSkyline, map row
+/// indices back to stable point ids.
+std::vector<PointId> LiveOracle(const DatasetVersion& version, Subspace v) {
+  std::vector<PointId> live_ids;
+  Dataset dense(version.data.num_dims());
+  for (PointId id = 0; id < version.data.num_points(); ++id) {
+    if (!version.IsLive(id)) continue;
+    live_ids.push_back(id);
+    dense.Append(version.data.point(id));
+  }
+  std::vector<PointId> out;
+  for (PointId p : SubspaceSkyline(dense, v)) out.push_back(live_ids[p]);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace
@@ -221,6 +248,136 @@ int main(int argc, char** argv) {
 
   table.Print(std::cout,
               "Query service: memoized cuboid cache vs cold recomputation");
+  std::cout << '\n';
+
+  // ---- Mixed read/update scenario ----------------------------------
+  // Same Zipf stream, but every 16th op is an ApplyUpdate burst instead
+  // of a query: 1-2 uniform inserts, and every third burst removes a
+  // member of the hottest cached cuboid (falling back to any live
+  // point), which exercises invalidation + recompute, not just repair.
+  // Single-threaded and fully seeded, so the dominance-test counters
+  // are exact and hard-gated.
+  TextTable mixed_table({"Scenario", "DT/op", "hit%", "repaired",
+                         "invalidated", "epochs", "RT (ms)"});
+  constexpr std::size_t kUpdateEvery = 16;
+  for (DataType type : {DataType::kUniformIndependent, DataType::kCorrelated,
+                        DataType::kAntiCorrelated}) {
+    const Dataset data = Generate(type, n, d, opts.seed);
+    const std::vector<Subspace> stream =
+        MakeQueryStream(d, num_queries, opts.seed);
+    // The Zipf head: the most frequent cuboid, which is cached from its
+    // first occurrence on — the deterministic victim source for
+    // member removals.
+    std::vector<std::uint64_t> occurrences(std::size_t{1} << d, 0);
+    for (Subspace v : stream) ++occurrences[v.bits()];
+    std::uint64_t hot_bits = 1;
+    for (std::uint64_t bits = 1; bits + 1 < occurrences.size(); ++bits) {
+      // The full space is excluded: its entry is pinned, and removing a
+      // pinned member recomputes eagerly instead of invalidating.
+      if (occurrences[bits] > occurrences[hot_bits]) hot_bits = bits;
+    }
+    const Subspace hot(hot_bits);
+
+    QueryServiceOptions options;
+    options.max_entries = opts.quick ? 56 : 192;
+    QueryService service(data, options);
+    std::mt19937_64 urng(opts.seed ^ 0xfeedface);
+    std::uniform_real_distribution<double> value(0.0, 1.0);
+    std::size_t update_count = 0;
+    bool ok = true;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if ((i + 1) % kUpdateEvery == 0) {
+        const std::size_t k = 1 + urng() % 2;
+        std::vector<Value> rows;
+        for (std::size_t r = 0; r < k * d; ++r) {
+          rows.push_back(static_cast<Value>(value(urng)));
+        }
+        std::vector<PointId> removes;
+        if (++update_count % 3 == 0) {
+          std::vector<PointId> hot_ids;
+          if (service.PeekExact(hot, &hot_ids) && !hot_ids.empty()) {
+            removes.push_back(
+                hot_ids[urng() % hot_ids.size()]);
+          } else {
+            const DatasetVersionPtr ver = service.current_version();
+            PointId id = static_cast<PointId>(
+                urng() % ver->data.num_points());
+            while (!ver->IsLive(id)) {
+              id = (id + 1) % static_cast<PointId>(ver->data.num_points());
+            }
+            removes.push_back(id);
+          }
+        }
+        service.ApplyUpdate(rows, removes);
+      } else {
+        const std::vector<PointId> answer = service.Query(stream[i]);
+        // Periodic in-loop oracle probe (cheap enough at this cadence).
+        if (i % 500 == 0 &&
+            answer != LiveOracle(*service.current_version(), stream[i])) {
+          std::cerr << "[bench_query_service] mixed: op " << i
+                    << " diverged from the live oracle on cuboid "
+                    << stream[i].ToString() << "\n";
+          ok = false;
+          break;
+        }
+      }
+    }
+    const double mixed_rt_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!ok) return 1;
+
+    const QueryStatsSnapshot stats = service.Stats();
+
+    // Final oracle sweep over every queried cuboid at the final epoch.
+    const DatasetVersionPtr final_version = service.current_version();
+    for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << d); ++bits) {
+      if (occurrences[bits] == 0) continue;
+      if (service.Query(Subspace(bits)) !=
+          LiveOracle(*final_version, Subspace(bits))) {
+        std::cerr << "[bench_query_service] mixed: final answer differs "
+                  << "from the live oracle on cuboid "
+                  << Subspace(bits).ToString() << "\n";
+        return 1;
+      }
+    }
+
+    // The mutation paths this scenario exists to measure must actually
+    // run: at least one cheap repair and one unrepairable invalidation.
+    if (stats.repaired == 0 || stats.invalidated == 0) {
+      std::cerr << "[bench_query_service] mixed: repair/invalidate paths "
+                << "not exercised (repaired=" << stats.repaired
+                << ", invalidated=" << stats.invalidated << ")\n";
+      return 1;
+    }
+
+    const double ops = static_cast<double>(stream.size());
+    const double mixed_dt =
+        static_cast<double>(stats.dominance_tests()) / ops;
+    const double mixed_hit_pct =
+        100.0 * static_cast<double>(stats.hits) /
+        static_cast<double>(stats.queries);
+    const std::string label = bench::ScenarioLabel(type, n, d, opts.seed);
+    mixed_table.AddRow({label, TextTable::FormatNumber(mixed_dt),
+                        TextTable::FormatNumber(mixed_hit_pct),
+                        std::to_string(stats.repaired),
+                        std::to_string(stats.invalidated),
+                        std::to_string(stats.epoch),
+                        TextTable::FormatNumber(mixed_rt_ms)});
+    PrintLatencySummary(std::cout, "  " + label + " update latency",
+                        stats.update_latency);
+
+    report.Add({"", label, "query-mixed-service", n, d, opts.seed, 1,
+                mixed_dt, mixed_rt_ms, service.Query(Subspace::Full(d)).size()});
+    report.Add({"", label, "query-mixed-hit-pct", n, d, opts.seed, 1,
+                mixed_hit_pct, 0.0, service.Query(Subspace::Full(d)).size()});
+    std::cerr << "  [query] " << label << " mixed done (epoch "
+              << stats.epoch << ")\n";
+  }
+  mixed_table.Print(std::cout,
+                    "Query service: mixed Zipf read/update stream");
   std::cout << '\n';
   return bench::FinishJson(opts, report);
 }

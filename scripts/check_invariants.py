@@ -32,6 +32,15 @@ Rules, each scoped to src/:
       reserve / ...): kernels operate on caller-owned, pre-sized
       storage; an allocation inside a kernel is a hot-loop bug.
 
+  R6  In the mutable-dataset layers (src/query/, src/server/), every
+      cache-entry read site — a call through the published_ids()
+      accessor — must visibly deal with epochs: the surrounding lines
+      must mention `epoch` (comparing the entry's stamp, forwarding an
+      epoch_delta, ...), or the read must be waived with an
+      `// epoch-ok: <reason>` comment. Serving a cached answer without
+      consulting its epoch is exactly how a pre-update answer leaks
+      past ApplyUpdate.
+
 Usage:
   scripts/check_invariants.py              lint src/ of this repository
   scripts/check_invariants.py --root DIR   lint DIR/src (for testing)
@@ -316,6 +325,32 @@ def check_kernel_rules(relpath, stripped):
     return findings
 
 
+# ---- R6 ------------------------------------------------------------------
+
+RE_ENTRY_READ = re.compile(r"[.>]\s*published_ids\s*\(")
+EPOCH_SCOPES = ("src/query/", "src/server/")
+EPOCH_WINDOW = 10  # lines above the read site that must mention epochs
+
+
+def check_epoch_reads(relpath, stripped, raw_lines):
+    norm = relpath.replace(os.sep, "/")
+    if not norm.startswith(EPOCH_SCOPES):
+        return []
+    findings = []
+    for m in RE_ENTRY_READ.finditer(stripped):
+        line = line_of(stripped, m.start())
+        lo = max(0, line - 1 - EPOCH_WINDOW)
+        if any("epoch" in raw for raw in raw_lines[lo:line]):
+            continue  # an epoch comparison or an `epoch-ok:` waiver
+        findings.append(Finding(
+            "R6", relpath, line,
+            "cache-entry read (published_ids) with no epoch handling in "
+            "the surrounding %d lines — compare the entry's epoch stamp, "
+            "or waive a deliberately epoch-blind read with an "
+            "'// epoch-ok: <reason>' comment" % EPOCH_WINDOW))
+    return findings
+
+
 # ---- driver --------------------------------------------------------------
 
 
@@ -327,6 +362,7 @@ def lint_file(relpath, text):
     findings += check_guarded_fields(relpath, stripped, raw_lines)
     findings += check_contract_side_effects(relpath, stripped)
     findings += check_kernel_rules(relpath, stripped)
+    findings += check_epoch_reads(relpath, stripped, raw_lines)
     return findings
 
 
@@ -409,6 +445,29 @@ SELF_TEST_CASES = [
           v.push_back(0);
         }
     """, ["R5"]),
+    ("R6 epoch-blind cache read", "src/query/bad_read.cc", """
+        std::vector<PointId> Serve(const EntryPtr& entry) {
+          return entry->published_ids();
+        }
+    """, ["R6"]),
+    ("R6 epoch comparison nearby passes", "src/query/good_read.cc", """
+        std::vector<PointId> Serve(const EntryPtr& entry,
+                                   std::uint64_t current_epoch) {
+          if (entry->epoch != current_epoch) return {};
+          return entry->published_ids();
+        }
+    """, []),
+    ("R6 waiver comment passes", "src/server/waived_read.cc", """
+        std::size_t Gauge(const EntryPtr& entry) {
+          // epoch-ok: counting ids, not serving them.
+          return entry->published_ids().size();
+        }
+    """, []),
+    ("R6 scope excludes other layers", "src/stream/other_read.cc", """
+        std::vector<PointId> Serve(const EntryPtr& entry) {
+          return entry->published_ids();
+        }
+    """, []),
 ]
 
 

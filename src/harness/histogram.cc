@@ -49,8 +49,14 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
 }
 
 std::uint64_t LatencyHistogram::Snapshot::PercentileNanos(double p) const {
-  if (total == 0) return 0;
+  if (total == 0) return 0;  // empty-histogram sentinel, any p
+  // A non-finite p would pass std::clamp unchanged (every comparison
+  // with NaN is false) and make the cast below undefined; treat it as
+  // the max percentile instead.
+  if (!std::isfinite(p)) p = 100.0;
   p = std::clamp(p, 0.0, 100.0);
+  // rank is in [0, total]; rank 0 (p == 0) resolves to the first
+  // non-empty bucket via the counts[b] > 0 guard.
   const std::uint64_t rank = static_cast<std::uint64_t>(
       std::ceil(p / 100.0 * static_cast<double>(total)));
   std::uint64_t seen = 0;

@@ -47,8 +47,16 @@ class LatencyHistogram {
     std::array<std::uint64_t, kBuckets> counts{};
     std::uint64_t total = 0;
 
-    /// Upper bucket bound (in nanoseconds) of the p-th percentile,
-    /// p in [0, 100]; 0 when no samples were recorded.
+    /// Upper bucket bound (in nanoseconds) of the p-th percentile.
+    /// Pinned behavior (boundary tests assert all of it):
+    ///   * empty histogram — returns the sentinel 0 for every p;
+    ///   * p is clamped to [0, 100]; a non-finite p (NaN, ±inf) is
+    ///     treated as 100 (never undefined behavior);
+    ///   * p == 0 — upper bound of the smallest non-empty bucket (the
+    ///     rank-1 sample's bucket);
+    ///   * p == 100 — upper bound of the largest non-empty bucket;
+    ///   * the returned value is always BucketUpperNanos(b) of some
+    ///     bucket b in [0, kBuckets) — never an out-of-range index.
     std::uint64_t PercentileNanos(double p) const;
   };
 

@@ -33,11 +33,19 @@ QueryService::QueryService(const Dataset& data, QueryServiceOptions options)
     : data_(data), options_(std::move(options)) {
   SKYLINE_ASSERT(options_.max_entries >= 1,
                  "QueryService: max_entries must be at least 1");
+  auto v0 = std::make_shared<DatasetVersion>();
+  v0->data = data_;
+  v0->live.assign(data_.num_points(), 1);
+  v0->num_live = data_.num_points();
+  {
+    WriterLock lock(cache_mu_);
+    version_ = v0;
+  }
   if (!options_.pin_full_space) return;
   const Subspace full = Subspace::Full(data_.num_dims());
   std::uint64_t tests = 0;
-  auto entry = std::make_shared<Entry>(/*pinned_entry=*/true);
-  std::vector<PointId> ids = ComputeCold(full, &tests);
+  auto entry = std::make_shared<Entry>(/*pinned_entry=*/true, /*entry_epoch=*/0);
+  std::vector<PointId> ids = ComputeCold(*v0, full, &tests);
   const std::size_t num_ids = ids.size();
   cold_tests_.fetch_add(tests, std::memory_order_relaxed);
   entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -59,17 +67,24 @@ std::vector<PointId> QueryService::AwaitAndCopy(const EntryPtr& entry) {
   }
   entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
+  // epoch-ok: waiters get the answer of the epoch the entry was claimed
+  // at; the Query caller reports entry->epoch alongside these ids.
   return entry->published_ids();  // Immutable once ready; copy is race-free.
 }
 
 QueryService::EntryPtr QueryService::FindBestAncestor(
     Subspace v, Subspace* ancestor_subspace) const {
+  // epoch-ok: only entries stamped with the current epoch are eligible —
+  // a stale cached answer is not a sound seed (points inserted since it
+  // was computed would be missing from the candidate set).
+  const std::uint64_t current = version_->epoch;
   EntryPtr best;
   Subspace best_subspace;
   for (const auto& [bits, entry] : cache_) {
     const Subspace u(bits);
     if (!v.IsSubsetOf(u)) continue;
     if (!entry->ready.load(std::memory_order_acquire)) continue;
+    if (entry->epoch != current) continue;
     const std::size_t num_ids = entry->published_ids().size();
     if (best == nullptr || num_ids < best->published_ids().size() ||
         (num_ids == best->published_ids().size() &&
@@ -84,29 +99,61 @@ QueryService::EntryPtr QueryService::FindBestAncestor(
   return best;
 }
 
-std::vector<PointId> QueryService::ComputeCold(Subspace v,
+std::vector<PointId> QueryService::ComputeCold(const DatasetVersion& version,
+                                               Subspace v,
                                                std::uint64_t* tests) const {
-  if (data_.num_points() == 0) return {};
-  const Dataset projected = ProjectDataset(data_, v);
+  if (version.num_live == 0) return {};
   SkylineStats stats;
   std::vector<PointId> ids;
+  if (!version.has_removed) {
+    const Dataset projected = ProjectDataset(version.data, v);
+    if (projected.num_points() >= options_.parallel_cold_threshold) {
+      ParallelSubsetSfs engine(options_.threads, options_.algorithm);
+      ids = engine.Compute(projected, &stats);
+    } else {
+      SfsSubset engine(options_.algorithm);
+      ids = engine.Compute(projected, &stats);
+    }
+    if (tests != nullptr) *tests += stats.dominance_tests;
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+  // Tombstoned version: project only the live rows into a dense dataset
+  // (engine row ids index `live_ids`) and map back.
+  std::vector<PointId> live_ids;
+  live_ids.reserve(version.num_live);
+  for (PointId p = 0; p < version.data.num_points(); ++p) {
+    if (version.IsLive(p)) live_ids.push_back(p);
+  }
+  const Dim pd = v.size();
+  std::vector<Value> values;
+  values.reserve(live_ids.size() * pd);
+  for (PointId id : live_ids) {
+    const Value* row = version.data.row(id);
+    v.ForEachDim([&](Dim i) { values.push_back(row[i]); });
+  }
+  const Dataset projected(pd, std::move(values));
+  std::vector<PointId> local;
   if (projected.num_points() >= options_.parallel_cold_threshold) {
     ParallelSubsetSfs engine(options_.threads, options_.algorithm);
-    ids = engine.Compute(projected, &stats);
+    local = engine.Compute(projected, &stats);
   } else {
     SfsSubset engine(options_.algorithm);
-    ids = engine.Compute(projected, &stats);
+    local = engine.Compute(projected, &stats);
   }
   if (tests != nullptr) *tests += stats.dominance_tests;
+  ids.reserve(local.size());
+  for (PointId id : local) ids.push_back(live_ids[id]);
   std::sort(ids.begin(), ids.end());
   return ids;
 }
 
 std::vector<PointId> QueryService::ComputeSeededCore(
-    Subspace v, const std::vector<PointId>& candidates,
-    std::uint64_t* tests) const {
+    const DatasetVersion& version, Subspace v,
+    const std::vector<PointId>& candidates, std::uint64_t* tests) const {
+  // Candidates come from a current-epoch entry, so every id is live.
   if (candidates.size() < options_.seeded_boost_threshold) {
-    return SubspaceSkylineOverCandidates(data_, v, candidates, tests);
+    return SubspaceSkylineOverCandidates(version.data, v, candidates, tests);
   }
   // Large seed (e.g. a near-total anti-correlated full-space skyline):
   // the O(|seed|^2) BNL loses to the subset-boosted engine on the
@@ -115,7 +162,7 @@ std::vector<PointId> QueryService::ComputeSeededCore(
   std::vector<Value> values;
   values.reserve(candidates.size() * pd);
   for (PointId id : candidates) {
-    const Value* row = data_.row(id);
+    const Value* row = version.data.row(id);
     v.ForEachDim([&](Dim i) { values.push_back(row[i]); });
   }
   const Dataset projected(pd, std::move(values));
@@ -127,6 +174,165 @@ std::vector<PointId> QueryService::ComputeSeededCore(
   core.reserve(local.size());
   for (PointId id : local) core.push_back(candidates[id]);
   return core;
+}
+
+bool QueryService::TryRepair(const DatasetVersion& next, Subspace v,
+                             PointId first_inserted,
+                             std::span<const PointId> removes,
+                             std::vector<PointId>* ids,
+                             std::uint64_t* tests) {
+  // Remove rule: a removed member invalidates the answer (points it
+  // alone dominated may surface); a removed non-member is harmless —
+  // it was strictly V-dominated by a member (ties are members by the
+  // closure property), and removing a dominated point never changes a
+  // skyline. `*ids` is ascending, so membership is a binary search.
+  for (PointId r : removes) {
+    if (std::binary_search(ids->begin(), ids->end(), r)) return false;
+  }
+  // Insert rule: an inserted point p strictly V-dominated by some
+  // member changes nothing (dominance is transitive, so a member
+  // witness exists whenever any dominator exists); otherwise p joins
+  // the answer and evicts exactly the members it V-dominates. A tie on
+  // V with a member also joins (nothing can dominate p without
+  // dominating that member). Inserted ids exceed every prior id, so
+  // appending keeps `*ids` sorted; later inserts of the same batch are
+  // correctly checked against earlier ones.
+  std::uint64_t local_tests = 0;
+  for (PointId p = first_inserted; p < next.data.num_points(); ++p) {
+    const Value* row = next.data.row(p);
+    bool dominated = false;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ids->size(); ++i) {
+      const PointId s = (*ids)[i];
+      ++local_tests;
+      if (DominatesInSubspace(next.data.row(s), row, v)) {
+        dominated = true;
+        for (std::size_t j = i; j < ids->size(); ++j) {
+          (*ids)[keep++] = (*ids)[j];
+        }
+        break;
+      }
+      if (DominatesInSubspace(row, next.data.row(s), v)) continue;
+      (*ids)[keep++] = s;
+    }
+    ids->resize(keep);
+    if (!dominated) ids->push_back(p);
+  }
+  if (tests != nullptr) *tests += local_tests;
+  return true;
+}
+
+QueryService::EntryPtr QueryService::MakeReadyEntry(bool pinned,
+                                                    std::uint64_t entry_epoch,
+                                                    std::uint64_t last_used,
+                                                    std::vector<PointId> ids) {
+  auto entry = std::make_shared<Entry>(pinned, entry_epoch);
+  entry->last_used.store(last_used, std::memory_order_relaxed);
+  entry->Publish(std::move(ids));
+  return entry;
+}
+
+std::uint64_t QueryService::ApplyUpdate(std::span<const Value> inserts,
+                                        std::span<const PointId> removes) {
+  const Dim d = data_.num_dims();
+  SKYLINE_ASSERT(inserts.size() % d == 0,
+                 "ApplyUpdate: inserts must be k * num_dims values");
+  const std::size_t num_inserts = inserts.size() / d;
+  if (num_inserts == 0 && removes.empty()) {
+    ReaderLock lock(cache_mu_);
+    return version_->epoch;  // Empty batch: no-op, no epoch bump.
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t tests = 0;
+  std::uint64_t new_epoch = 0;
+  {
+    WriterLock lock(cache_mu_);
+    const DatasetVersionPtr old = version_;
+    auto next = std::make_shared<DatasetVersion>();
+    next->data = old->data;
+    next->live = old->live;
+    next->epoch = old->epoch + 1;
+    const PointId first_inserted =
+        static_cast<PointId>(next->data.num_points());
+    for (std::size_t i = 0; i < num_inserts; ++i) {
+      next->data.Append(inserts.subspan(i * d, d));
+    }
+    next->live.resize(next->data.num_points(), 1);
+    for (PointId r : removes) {
+      SKYLINE_ASSERT(r < first_inserted,
+                     "ApplyUpdate: remove id out of range or from this batch");
+      SKYLINE_ASSERT(next->live[r] != 0,
+                     "ApplyUpdate: remove of an already-removed point");
+      next->live[r] = 0;
+    }
+    next->has_removed = old->has_removed || !removes.empty();
+    next->num_live = old->num_live + num_inserts - removes.size();
+    version_ = next;
+    new_epoch = next->epoch;
+
+    // Sweep the cache: repair what the two rules allow, detach what is
+    // still computing, leave the rest behind as stale.
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      const EntryPtr entry = it->second;
+      if (!entry->ready.load(std::memory_order_acquire)) {
+        // In-flight computation over the old version: unlink it so its
+        // result is never cached under the new epoch. The computing
+        // thread still publishes to its waiters and detects the
+        // detachment in PublishAndEvict.
+        aborted_inflight_.fetch_add(1, std::memory_order_relaxed);
+        it = cache_.erase(it);
+        continue;
+      }
+      if (entry->epoch != old->epoch) {
+        ++it;  // Already stale from an earlier epoch; nothing new to learn.
+        continue;
+      }
+      const Subspace v(it->first);
+      const std::size_t old_size = entry->published_ids().size();
+      std::vector<PointId> ids = entry->published_ids();
+      if (TryRepair(*next, v, first_inserted, removes, &ids, &tests)) {
+        // Published id lists are immutable, so a repair installs a
+        // replacement entry re-stamped with the new epoch.
+        const std::size_t new_size = ids.size();
+        it->second = MakeReadyEntry(
+            entry->pinned, next->epoch,
+            entry->last_used.load(std::memory_order_relaxed), std::move(ids));
+        if (entry->pinned) {
+          pinned_ids_ = pinned_ids_ - old_size + new_size;
+        } else {
+          cached_ids_ = cached_ids_ - old_size + new_size;
+        }
+        repaired_.fetch_add(1, std::memory_order_relaxed);
+      } else if (entry->pinned) {
+        // The pinned full-space seed lost a member: recompute it
+        // eagerly (under the lock) so every future miss still has a
+        // universal current-epoch seed.
+        std::vector<PointId> fresh = ComputeCold(*next, v, &tests);
+        const std::size_t new_size = fresh.size();
+        it->second = MakeReadyEntry(
+            /*pinned=*/true, next->epoch,
+            clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::move(fresh));
+        pinned_ids_ = pinned_ids_ - old_size + new_size;
+        pinned_recomputes_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Unrepairable: left in the map stamped with the old epoch.
+        // Query() treats it as a miss and replaces it; the Peek probes
+        // only surface it to callers that opted into staleness.
+        invalidated_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++it;
+    }
+  }
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  insert_points_.fetch_add(num_inserts, std::memory_order_relaxed);
+  remove_points_.fetch_add(removes.size(), std::memory_order_relaxed);
+  update_tests_.fetch_add(tests, std::memory_order_relaxed);
+  update_latency_.Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return new_epoch;
 }
 
 bool QueryService::OverBudget() const {
@@ -141,6 +347,14 @@ void QueryService::PublishAndEvict(const EntryPtr& entry, std::uint64_t key,
   entry->Publish(std::move(ids));
 
   WriterLock lock(cache_mu_);
+  auto self = cache_.find(key);
+  if (self == cache_.end() || self->second != entry) {
+    // An ApplyUpdate detached this computation while it ran: the
+    // publication above fed the coalesced waiters (who get the answer
+    // for the epoch they queued behind), but the cache — now at a newer
+    // epoch — must not absorb it.
+    return;
+  }
   cached_ids_ += num_ids;
   entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
@@ -170,13 +384,15 @@ void QueryService::PublishAndEvict(const EntryPtr& entry, std::uint64_t key,
       }
       break;
     }
+    // epoch-ok: eviction accounting — the ids are dropped, not served.
     cached_ids_ -= victim->second->published_ids().size();
     cache_.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-std::vector<PointId> QueryService::Query(Subspace v) {
+std::vector<PointId> QueryService::Query(Subspace v,
+                                         std::uint64_t* epoch_out) {
   SKYLINE_ASSERT(!v.empty(), "Query: empty subspace");
   SKYLINE_ASSERT(v.IsSubsetOf(Subspace::Full(data_.num_dims())),
                  "Query: subspace outside the dataset's space");
@@ -191,44 +407,66 @@ std::vector<PointId> QueryService::Query(Subspace v) {
     return ids;
   };
 
-  // Fast path: shared-lock lookup.
+  // Fast path: shared-lock lookup. A ready entry from an older epoch
+  // reads as a miss — stale answers are never served from Query().
   {
     ReaderLock lock(cache_mu_);
     auto it = cache_.find(v.bits());
     if (it != cache_.end()) {
       EntryPtr entry = it->second;
       const bool was_ready = entry->ready.load(std::memory_order_acquire);
-      lock.Unlock();
-      if (was_ready) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        coalesced_.fetch_add(1, std::memory_order_relaxed);
+      // epoch-ok: in-flight entries are always current (an update would
+      // have detached them from the map); ready ones must match.
+      const bool current = entry->epoch == version_->epoch;
+      if (!was_ready || current) {
+        lock.Unlock();
+        if (was_ready) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          coalesced_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (epoch_out != nullptr) *epoch_out = entry->epoch;
+        return finish(AwaitAndCopy(entry));
       }
-      return finish(AwaitAndCopy(entry));
     }
   }
 
-  // Miss: claim the cuboid (single-flight) and pick a seed.
+  // Miss (or stale hit): claim the cuboid (single-flight) and pick a
+  // seed, all under one exclusive-lock critical section.
   EntryPtr entry;
   EntryPtr ancestor;
   Subspace ancestor_subspace;
+  DatasetVersionPtr snap;
   {
     WriterLock lock(cache_mu_);
     auto it = cache_.find(v.bits());
     if (it != cache_.end()) {
-      // Another thread claimed it between our two lookups.
       EntryPtr existing = it->second;
       const bool was_ready = existing->ready.load(std::memory_order_acquire);
-      lock.Unlock();
-      if (was_ready) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        coalesced_.fetch_add(1, std::memory_order_relaxed);
+      // epoch-ok: same rule as the fast path — wait on in-flight or
+      // current entries, replace stale ready ones below.
+      if (!was_ready || existing->epoch == version_->epoch) {
+        // Another thread claimed it between our two lookups.
+        lock.Unlock();
+        if (was_ready) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          coalesced_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (epoch_out != nullptr) *epoch_out = existing->epoch;
+        return finish(AwaitAndCopy(existing));
       }
-      return finish(AwaitAndCopy(existing));
+      // Stale ready entry: drop it from the accounting and replace it
+      // in place (not counted as an eviction — the slot stays taken).
+      cached_ids_ -= existing->published_ids().size();
+      snap = version_;
+      entry = std::make_shared<Entry>(/*pinned_entry=*/false, snap->epoch);
+      it->second = entry;
+    } else {
+      snap = version_;
+      entry = std::make_shared<Entry>(/*pinned_entry=*/false, snap->epoch);
+      cache_.emplace(v.bits(), entry);
     }
-    entry = std::make_shared<Entry>(/*pinned_entry=*/false);
-    cache_.emplace(v.bits(), entry);
     ancestor = FindBestAncestor(v, &ancestor_subspace);
   }
 
@@ -236,55 +474,106 @@ std::vector<PointId> QueryService::Query(Subspace v) {
   std::uint64_t tests = 0;
   if (ancestor != nullptr && ancestor_subspace != v) {
     // Top-down sharing from the ancestor cuboid: V-skyline of the
-    // ancestor's ids, then the duplicate-projection tie repair.
+    // ancestor's ids, then the duplicate-projection tie repair (live
+    // rows only once the version carries tombstones).
+    // epoch-ok: FindBestAncestor only returns current-epoch entries, so
+    // the seed matches `snap` (both captured under the same lock).
     const std::vector<PointId> core =
-        ComputeSeededCore(v, ancestor->published_ids(), &tests);
-    ids = CloseUnderProjectionTies(data_, v, core);
+        ComputeSeededCore(*snap, v, ancestor->published_ids(), &tests);
+    ids = snap->has_removed
+              ? CloseUnderProjectionTies(snap->data, v, core, snap->live)
+              : CloseUnderProjectionTies(snap->data, v, core);
     seeded_.fetch_add(1, std::memory_order_relaxed);
     seeded_tests_.fetch_add(tests, std::memory_order_relaxed);
   } else {
-    ids = ComputeCold(v, &tests);
+    ids = ComputeCold(*snap, v, &tests);
     cold_.fetch_add(1, std::memory_order_relaxed);
     cold_tests_.fetch_add(tests, std::memory_order_relaxed);
   }
 
+  if (epoch_out != nullptr) *epoch_out = snap->epoch;
   PublishAndEvict(entry, v.bits(), ids);
   return finish(std::move(ids));
 }
 
-bool QueryService::PeekExact(Subspace v, std::vector<PointId>* ids) {
+bool QueryService::PeekExact(Subspace v, std::vector<PointId>* ids,
+                             std::uint64_t* epoch_out,
+                             std::uint64_t* epoch_delta) {
   SKYLINE_ASSERT(!v.empty(), "PeekExact: empty subspace");
   ReaderLock lock(cache_mu_);
   auto it = cache_.find(v.bits());
   if (it == cache_.end()) return false;
   const EntryPtr& entry = it->second;
   if (!entry->ready.load(std::memory_order_acquire)) return false;
+  // epoch-ok: a stale entry is surfaced only to callers that asked for
+  // the delta — a pre-update answer is never returned silently.
+  const std::uint64_t delta = version_->epoch - entry->epoch;
+  if (delta != 0 && epoch_delta == nullptr) return false;
   entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
   if (ids != nullptr) *ids = entry->published_ids();
+  if (epoch_out != nullptr) *epoch_out = entry->epoch;
+  if (epoch_delta != nullptr) *epoch_delta = delta;
   return true;
 }
 
 bool QueryService::PeekNearestAncestor(Subspace v, Subspace* ancestor,
-                                       std::vector<PointId>* ids) {
+                                       std::vector<PointId>* ids,
+                                       std::uint64_t* epoch_out,
+                                       std::uint64_t* epoch_delta) {
   SKYLINE_ASSERT(!v.empty(), "PeekNearestAncestor: empty subspace");
   ReaderLock lock(cache_mu_);
+  // epoch-ok: candidates are ranked freshest epoch first and stale ones
+  // are eligible only with the caller's epoch_delta opt-in.
+  const std::uint64_t current = version_->epoch;
+  const bool allow_stale = epoch_delta != nullptr;
   EntryPtr best;
   Subspace best_subspace;
-  auto it = cache_.find(v.bits());
-  if (it != cache_.end() &&
-      it->second->ready.load(std::memory_order_acquire)) {
-    best = it->second;  // the exact cuboid beats any proper ancestor
-    best_subspace = v;
-  } else {
-    best = FindBestAncestor(v, &best_subspace);
+  std::uint64_t best_delta = 0;
+  bool best_exact = false;
+  std::size_t best_num_ids = 0;
+  for (const auto& [bits, entry] : cache_) {
+    const Subspace u(bits);
+    if (!v.IsSubsetOf(u)) continue;
+    if (!entry->ready.load(std::memory_order_acquire)) continue;
+    const std::uint64_t delta = current - entry->epoch;
+    if (delta != 0 && !allow_stale) continue;
+    const bool exact = u == v;
+    const std::size_t num_ids = entry->published_ids().size();
+    const bool better = [&] {
+      if (best == nullptr) return true;
+      if (delta != best_delta) return delta < best_delta;
+      if (exact != best_exact) return exact;
+      if (num_ids != best_num_ids) return num_ids < best_num_ids;
+      return u.size() < best_subspace.size();
+    }();
+    if (better) {
+      best = entry;
+      best_subspace = u;
+      best_delta = delta;
+      best_exact = exact;
+      best_num_ids = num_ids;
+    }
   }
   if (best == nullptr) return false;
   best->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                         std::memory_order_relaxed);
   if (ancestor != nullptr) *ancestor = best_subspace;
+  // epoch-ok: best->epoch and its delta are forwarded right below.
   if (ids != nullptr) *ids = best->published_ids();
+  if (epoch_out != nullptr) *epoch_out = best->epoch;
+  if (epoch_delta != nullptr) *epoch_delta = best_delta;
   return true;
+}
+
+DatasetVersionPtr QueryService::current_version() const {
+  ReaderLock lock(cache_mu_);
+  return version_;
+}
+
+std::uint64_t QueryService::epoch() const {
+  ReaderLock lock(cache_mu_);
+  return version_->epoch;
 }
 
 QueryStatsSnapshot QueryService::Stats() const {
@@ -297,15 +586,28 @@ QueryStatsSnapshot QueryService::Stats() const {
   snap.evictions = evictions_.load(std::memory_order_relaxed);
   snap.seeded_tests = seeded_tests_.load(std::memory_order_relaxed);
   snap.cold_tests = cold_tests_.load(std::memory_order_relaxed);
+  snap.updates = updates_.load(std::memory_order_relaxed);
+  snap.insert_points = insert_points_.load(std::memory_order_relaxed);
+  snap.remove_points = remove_points_.load(std::memory_order_relaxed);
+  snap.repaired = repaired_.load(std::memory_order_relaxed);
+  snap.invalidated = invalidated_.load(std::memory_order_relaxed);
+  snap.aborted_inflight = aborted_inflight_.load(std::memory_order_relaxed);
+  snap.pinned_recomputes = pinned_recomputes_.load(std::memory_order_relaxed);
+  snap.update_tests = update_tests_.load(std::memory_order_relaxed);
   {
     ReaderLock lock(cache_mu_);
+    snap.epoch = version_->epoch;
+    snap.live_points = version_->num_live;
     for (const auto& [bits, entry] : cache_) {
       if (!entry->ready.load(std::memory_order_acquire)) continue;
       ++snap.cache_entries;
       snap.cache_ids += entry->published_ids().size();
+      // epoch-ok: counting, not serving — the gauge reports staleness.
+      if (entry->epoch != version_->epoch) ++snap.stale_entries;
     }
   }
   snap.latency = latency_.Snap();
+  snap.update_latency = update_latency_.Snap();
   return snap;
 }
 

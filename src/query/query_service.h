@@ -1,11 +1,12 @@
 // Concurrent subspace-skyline query service with a memoized cuboid
-// cache — the serving layer over a fixed Dataset.
+// cache — the serving layer over a live (mutable) dataset.
 //
 // A QueryService answers a stream of subspace-skyline queries ("best
 // hotels by price and rating only") without recomputing per query:
 //
-//   * Exact hit: the queried cuboid is cached; the id list is returned
-//     under a shared lock, with a single atomic LRU touch.
+//   * Exact hit: the queried cuboid is cached at the current epoch; the
+//     id list is returned under a shared lock, with a single atomic LRU
+//     touch.
 //   * Seeded miss: the nearest cached ancestor cuboid U ⊇ V (fewest
 //     skyline ids) seeds the computation via the skycube top-down
 //     sharing scheme — sky_V over sky(U) followed by the
@@ -19,23 +20,54 @@
 //     beyond `parallel_cold_threshold` rows) computes the cuboid on the
 //     projected dataset.
 //
+// Mutation (epochs): ApplyUpdate(inserts, removes) installs a new
+// immutable DatasetVersion (copy-on-write snapshot) and bumps the
+// epoch. Every cached cuboid entry is stamped with the epoch it was
+// computed in; an update either cheaply REPAIRS a ready entry to the
+// new epoch or leaves it behind as STALE (docs/query_service.md proves
+// both rules):
+//
+//   * Insert rule — an inserted point p that is V-dominated by some
+//     member of the cached answer sky(V) changes nothing; otherwise p
+//     joins sky(V) and evicts exactly the members it V-dominates. Both
+//     cases are an O(|sky(V)|) repair, no recompute.
+//   * Remove rule — a removed point absent from the cached answer
+//     leaves it valid; a removed member invalidates the entry (points
+//     it alone dominated may surface).
+//
+// Stale entries never answer Query() (they read as misses and are
+// replaced), never seed misses, and are only visible through the Peek
+// probes when the caller explicitly asks for the epoch delta — the
+// bounded-staleness contract of SkylineServer's kServeStale policy.
+// In-flight computations that an update overtakes are detached from
+// the cache: their waiters still get the pre-update answer (tagged with
+// the entry's epoch) but the result is never cached under the new
+// epoch.
+//
 // Concurrency: lookups take a shared lock; per-cuboid single-flight
 // means concurrent identical misses compute once (latecomers block on
 // the in-flight entry's condition variable, counted as `coalesced`).
-// Cached id lists are immutable once published, so hits copy them
+// Cached id lists are immutable once published — a repair publishes a
+// REPLACEMENT entry rather than mutating in place — so hits copy them
 // without per-entry locking (release/acquire on the entry's `ready`
 // flag), and eviction only unlinks entries from the map — readers that
-// already hold the shared_ptr keep a valid snapshot.
+// already hold the shared_ptr keep a valid snapshot. Updates hold the
+// exclusive lock for the whole sweep, so they serialize against claims
+// and publications (but not against in-flight computes, which are
+// detached instead).
 //
 // Eviction: bounded by entry count and (optionally) total cached ids;
 // least-recently-used ready entries are dropped first. The full-space
-// cuboid can be pinned (default) so every miss has a universal seed.
+// cuboid can be pinned (default) so every miss has a universal seed;
+// the pinned entry is kept current across updates (repaired, or
+// recomputed inside ApplyUpdate when one of its members is removed).
 #ifndef SKYLINE_QUERY_QUERY_SERVICE_H_
 #define SKYLINE_QUERY_QUERY_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -82,6 +114,24 @@ struct QueryServiceOptions {
   AlgorithmOptions algorithm;
 };
 
+/// One immutable snapshot of the live dataset. Rows are append-only and
+/// point ids are stable across versions: an insert appends rows, a
+/// remove only tombstones (live[id] = false). Any id valid at epoch e
+/// therefore still names the same row values in every epoch >= e — the
+/// property that lets a stale cached answer be re-projected against the
+/// newest version's rows.
+struct DatasetVersion {
+  Dataset data;            ///< All rows ever inserted (removed included).
+  std::vector<char> live;  ///< live[id] != 0 iff id has not been removed.
+  std::size_t num_live = 0;   ///< Count of live rows.
+  bool has_removed = false;   ///< Any tombstone in this version?
+  std::uint64_t epoch = 0;    ///< 0 at construction; +1 per ApplyUpdate.
+
+  DatasetVersion() : data(1) {}
+  bool IsLive(PointId id) const { return live[id] != 0; }
+};
+using DatasetVersionPtr = std::shared_ptr<const DatasetVersion>;
+
 /// A plain, copyable snapshot of the service counters. All counts are
 /// cumulative since construction.
 struct QueryStatsSnapshot {
@@ -94,12 +144,30 @@ struct QueryStatsSnapshot {
   std::uint64_t seeded_tests = 0;  ///< Dominance tests on seeded misses.
   std::uint64_t cold_tests = 0;    ///< Dominance tests on cold misses
                                    ///< (pinned full-space included).
+
+  // ---- Mutation counters (ApplyUpdate) ----
+  std::uint64_t updates = 0;        ///< ApplyUpdate calls that changed data.
+  std::uint64_t insert_points = 0;  ///< Rows inserted across all updates.
+  std::uint64_t remove_points = 0;  ///< Rows tombstoned across all updates.
+  std::uint64_t repaired = 0;       ///< Entries cheaply re-stamped current.
+  std::uint64_t invalidated = 0;    ///< Ready entries left behind as stale.
+  std::uint64_t aborted_inflight = 0;  ///< In-flight computes detached.
+  std::uint64_t pinned_recomputes = 0;  ///< Pinned full-space recomputes.
+  std::uint64_t update_tests = 0;  ///< Dominance tests in repairs + pinned
+                                   ///< recomputes.
+
+  std::uint64_t epoch = 0;         ///< Current dataset epoch.
+  std::size_t live_points = 0;     ///< Live rows in the current version.
   std::size_t cache_entries = 0;   ///< Ready cuboids currently cached.
+  std::size_t stale_entries = 0;   ///< Of those, stamped with an old epoch.
   std::size_t cache_ids = 0;       ///< Ids currently cached (incl. pinned).
   LatencyHistogram::Snapshot latency;  ///< Per-Query() wall latency.
+  LatencyHistogram::Snapshot update_latency;  ///< Per-ApplyUpdate() wall.
 
   std::uint64_t misses() const { return coalesced + seeded + cold; }
-  std::uint64_t dominance_tests() const { return seeded_tests + cold_tests; }
+  std::uint64_t dominance_tests() const {
+    return seeded_tests + cold_tests + update_tests;
+  }
   double HitRate() const {
     return queries == 0
                ? 0.0
@@ -108,7 +176,9 @@ struct QueryStatsSnapshot {
 };
 
 /// Thread-safe memoizing subspace-skyline server over one Dataset. The
-/// dataset must outlive the service and stay unmodified.
+/// construction dataset is snapshotted as epoch 0; it must stay alive
+/// and unmodified only through the constructor call itself. All later
+/// mutation goes through ApplyUpdate.
 class QueryService {
  public:
   explicit QueryService(const Dataset& data, QueryServiceOptions options = {});
@@ -117,8 +187,27 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Ids of the skyline of the non-empty subspace `v` (which must lie
-  /// inside the dataset's space), ascending. Safe to call concurrently.
-  std::vector<PointId> Query(Subspace v) SKYLINE_EXCLUDES(cache_mu_);
+  /// inside the dataset's space), ascending, over the live rows of one
+  /// dataset version. Safe to call concurrently. When `epoch_out` is
+  /// non-null it receives the epoch of the version the answer reflects
+  /// — always the current epoch at some instant during the call, except
+  /// for waiters coalesced onto a computation that an update detached,
+  /// which get the pre-update epoch they queued behind.
+  std::vector<PointId> Query(Subspace v, std::uint64_t* epoch_out = nullptr)
+      SKYLINE_EXCLUDES(cache_mu_);
+
+  /// Applies a batch of mutations: `inserts` is a row-major block of
+  /// k * num_dims() values appended as k new points (their ids are
+  /// returned epochs' num_points(), ascending); `removes` tombstones
+  /// existing live points (each id must be live and predate this
+  /// batch). Bumps the epoch, repairs or invalidates cached cuboids
+  /// (see the header comment), and keeps the pinned full-space seed
+  /// current. Returns the new epoch (the unchanged one for an empty
+  /// batch, which is a no-op). Serializes against claims/publications
+  /// via the cache lock; safe to call concurrently with Query.
+  std::uint64_t ApplyUpdate(std::span<const Value> inserts,
+                            std::span<const PointId> removes)
+      SKYLINE_EXCLUDES(cache_mu_);
 
   /// Copies the current counters; safe to call concurrently.
   QueryStatsSnapshot Stats() const SKYLINE_EXCLUDES(cache_mu_);
@@ -127,18 +216,39 @@ class QueryService {
   /// copies its ids into `*ids` (when non-null), touches the LRU stamp,
   /// and returns true. Never computes and never waits on an in-flight
   /// entry. Counted neither as a hit nor as a query.
-  bool PeekExact(Subspace v, std::vector<PointId>* ids)
+  ///
+  /// Epoch contract: with `epoch_delta == nullptr` only entries stamped
+  /// with the CURRENT epoch are returned — a pre-update answer is never
+  /// served silently. Passing `epoch_delta` opts into stale entries:
+  /// `*epoch_delta` receives current − entry epoch (0 when current) and
+  /// `*epoch_out` (when non-null) the entry's epoch.
+  bool PeekExact(Subspace v, std::vector<PointId>* ids,
+                 std::uint64_t* epoch_out = nullptr,
+                 std::uint64_t* epoch_delta = nullptr)
       SKYLINE_EXCLUDES(cache_mu_);
 
   /// Non-blocking nearest-ancestor lookup: if any ready cached cuboid
-  /// U ⊇ `v` exists (the exact cuboid preferred, otherwise the one with
-  /// the fewest ids), copies its subspace/ids into the non-null
-  /// out-params, touches the LRU stamp, and returns true. Never
-  /// computes and never waits.
+  /// U ⊇ `v` exists (freshest epoch first, then the exact cuboid, then
+  /// the one with the fewest ids), copies its subspace/ids into the
+  /// non-null out-params, touches the LRU stamp, and returns true.
+  /// Never computes and never waits. Same epoch contract as PeekExact:
+  /// stale entries are only eligible when `epoch_delta` is non-null.
   bool PeekNearestAncestor(Subspace v, Subspace* ancestor,
-                           std::vector<PointId>* ids)
+                           std::vector<PointId>* ids,
+                           std::uint64_t* epoch_out = nullptr,
+                           std::uint64_t* epoch_delta = nullptr)
       SKYLINE_EXCLUDES(cache_mu_);
 
+  /// The current dataset version (immutable snapshot); safe to hold
+  /// across updates. Point ids of any epoch resolve against any later
+  /// version's rows (rows are append-only).
+  DatasetVersionPtr current_version() const SKYLINE_EXCLUDES(cache_mu_);
+
+  /// The current epoch (0 until the first non-empty ApplyUpdate).
+  std::uint64_t epoch() const SKYLINE_EXCLUDES(cache_mu_);
+
+  /// The construction-time dataset (epoch 0). Later epochs are reached
+  /// through current_version().
   const Dataset& data() const { return data_; }
   const QueryServiceOptions& options() const { return options_; }
 
@@ -147,9 +257,11 @@ class QueryService {
   /// once, under `mu`, before `ready` is set with release order
   /// (Publish). Readers that observed `ready` with acquire order may
   /// therefore read `ids_` lock-free (published_ids) — the entry is
-  /// immutable from publication on.
+  /// immutable from publication on. Repairs publish a replacement Entry
+  /// instead of mutating this one; `epoch` is fixed at claim time.
   struct Entry {
-    explicit Entry(bool pinned_entry) : pinned(pinned_entry) {}
+    Entry(bool pinned_entry, std::uint64_t entry_epoch)
+        : pinned(pinned_entry), epoch(entry_epoch) {}
 
     /// Stores the result, marks the entry ready, and wakes coalesced
     /// waiters. Called exactly once per entry, by the computing thread.
@@ -166,6 +278,8 @@ class QueryService {
     std::atomic<bool> ready{false};
     std::atomic<std::uint64_t> last_used{0};
     const bool pinned;
+    /// Epoch of the dataset version the ids are (being) computed for.
+    const std::uint64_t epoch;
 
    private:
     std::vector<PointId> ids_ SKYLINE_GUARDED_BY(mu);
@@ -176,24 +290,48 @@ class QueryService {
   std::vector<PointId> AwaitAndCopy(const EntryPtr& entry);
 
   /// Smallest ready cached cuboid whose subspace is a superset of `v`
-  /// (by id count, then by dimension count).
+  /// (by id count, then by dimension count), restricted to the current
+  /// epoch — a stale answer is never a sound seed.
   EntryPtr FindBestAncestor(Subspace v, Subspace* ancestor_subspace) const
       SKYLINE_REQUIRES_SHARED(cache_mu_);
 
-  /// Computes sky(v) from scratch with the subset-boosted engine on the
-  /// projected dataset; adds the dominance tests spent to `tests`.
-  std::vector<PointId> ComputeCold(Subspace v, std::uint64_t* tests) const;
+  /// Computes sky(v) over the live rows of `version` from scratch with
+  /// the subset-boosted engine; adds the dominance tests spent to
+  /// `tests`.
+  std::vector<PointId> ComputeCold(const DatasetVersion& version, Subspace v,
+                                   std::uint64_t* tests) const;
 
   /// Computes the core of sky(v) over the ancestor `candidates`: the
   /// skycube BNL below `seeded_boost_threshold` candidates, the
   /// subset-boosted engine on the projected candidate rows at or above
   /// it. Tie repair is the caller's job.
-  std::vector<PointId> ComputeSeededCore(Subspace v,
+  std::vector<PointId> ComputeSeededCore(const DatasetVersion& version,
+                                         Subspace v,
                                          const std::vector<PointId>& candidates,
                                          std::uint64_t* tests) const;
 
+  /// Attempts the cheap epoch repair of a cached answer `ids` for
+  /// cuboid `v` against an update that appended the id range
+  /// [first_inserted, next->data.num_points()) and tombstoned
+  /// `removes`. On success returns true and leaves the repaired answer
+  /// in `*ids` (ascending); on failure (a removed id was a member)
+  /// returns false with `*ids` unspecified. Dominance tests are added
+  /// to `*tests`.
+  static bool TryRepair(const DatasetVersion& next, Subspace v,
+                        PointId first_inserted,
+                        std::span<const PointId> removes,
+                        std::vector<PointId>* ids, std::uint64_t* tests);
+
+  /// Builds an Entry that is already published, for repair
+  /// replacements and eager pinned recomputes.
+  static EntryPtr MakeReadyEntry(bool pinned, std::uint64_t entry_epoch,
+                                 std::uint64_t last_used,
+                                 std::vector<PointId> ids);
+
   /// Publishes `ids` into `entry`, accounts the size, and evicts LRU
-  /// entries until the configured bounds hold again.
+  /// entries until the configured bounds hold again. If an update
+  /// detached `entry` from the cache while it was computing, the
+  /// publication only feeds its waiters and the cache is untouched.
   void PublishAndEvict(const EntryPtr& entry, std::uint64_t key,
                        std::vector<PointId> ids) SKYLINE_EXCLUDES(cache_mu_);
 
@@ -207,7 +345,10 @@ class QueryService {
   /// Key: subspace bits.
   std::unordered_map<std::uint64_t, EntryPtr> cache_
       SKYLINE_GUARDED_BY(cache_mu_);
-  /// Ids over ready unpinned entries.
+  /// The current dataset snapshot; replaced wholesale by ApplyUpdate.
+  DatasetVersionPtr version_ SKYLINE_GUARDED_BY(cache_mu_);
+  /// Ids over ready unpinned entries (stale ones included until they
+  /// are replaced or evicted).
   std::size_t cached_ids_ SKYLINE_GUARDED_BY(cache_mu_) = 0;
   /// Ready pinned entries.
   std::size_t pinned_entries_ SKYLINE_GUARDED_BY(cache_mu_) = 0;
@@ -223,7 +364,16 @@ class QueryService {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> seeded_tests_{0};
   std::atomic<std::uint64_t> cold_tests_{0};
+  std::atomic<std::uint64_t> updates_{0};
+  std::atomic<std::uint64_t> insert_points_{0};
+  std::atomic<std::uint64_t> remove_points_{0};
+  std::atomic<std::uint64_t> repaired_{0};
+  std::atomic<std::uint64_t> invalidated_{0};
+  std::atomic<std::uint64_t> aborted_inflight_{0};
+  std::atomic<std::uint64_t> pinned_recomputes_{0};
+  std::atomic<std::uint64_t> update_tests_{0};
   LatencyHistogram latency_;  // unguarded: internally lock-free atomics
+  LatencyHistogram update_latency_;  // unguarded: internally lock-free atomics
 };
 
 }  // namespace skyline

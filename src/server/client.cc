@@ -1,11 +1,60 @@
 #include "src/server/client.h"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
+#include <random>
 #include <thread>
 
 #include "src/core/contracts.h"
 
 namespace skyline {
+
+namespace {
+
+std::uint64_t ThreadLocalRandom() {
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device rd;
+    const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return std::mt19937_64(
+        (static_cast<std::uint64_t>(rd()) << 32 | rd()) ^ tid);
+  }();
+  return rng();
+}
+
+}  // namespace
+
+std::chrono::nanoseconds NextBackoff(std::chrono::nanoseconds prev,
+                                     const RetryOptions& retry,
+                                     std::uint64_t rnd) {
+  SKYLINE_ASSERT(retry.min_step.count() > 0,
+                 "NextBackoff: min_step must be positive");
+  const std::int64_t cap = retry.max_backoff.count();
+  const std::int64_t step = retry.min_step.count();
+  if (retry.jitter) {
+    // Decorrelated jitter: uniform in [step, min(cap, max(step, 3 * prev))].
+    // The tripled upper bound keeps the exponential envelope (mean grows
+    // ~2x per retry) while spreading synchronized clients apart.
+    const std::int64_t hi =
+        std::min(cap, std::max(step, 3 * std::max<std::int64_t>(
+                                             prev.count(), 0)));
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - step) + 1;
+    return std::chrono::nanoseconds(
+        step + static_cast<std::int64_t>(rnd % range));
+  }
+  // Deterministic envelope: multiplicative growth with an additive
+  // floor, so the schedule is strictly increasing by at least min_step
+  // until it saturates at max_backoff — even from a zero seed, where
+  // `0 * multiplier == 0` would otherwise never grow.
+  const double scaled =
+      static_cast<double>(prev.count()) * retry.backoff_multiplier;
+  const std::int64_t grown = std::max(
+      static_cast<std::int64_t>(scaled),
+      prev.count() > std::numeric_limits<std::int64_t>::max() - step
+          ? std::numeric_limits<std::int64_t>::max()
+          : prev.count() + step);
+  return std::chrono::nanoseconds(std::min(cap, grown));
+}
 
 ServerResponse QueryWithRetry(SkylineServer& server, Subspace v,
                               std::chrono::nanoseconds timeout,
@@ -14,8 +63,10 @@ ServerResponse QueryWithRetry(SkylineServer& server, Subspace v,
                  "QueryWithRetry: max_attempts must be at least 1");
   SKYLINE_ASSERT(retry.backoff_multiplier >= 1.0,
                  "QueryWithRetry: backoff_multiplier must be at least 1");
+  SKYLINE_ASSERT(retry.min_step.count() > 0,
+                 "QueryWithRetry: min_step must be positive");
   ServerResponse response;
-  std::chrono::nanoseconds backoff =
+  std::chrono::nanoseconds prev =
       std::min(retry.initial_backoff, retry.max_backoff);
   int attempts = 0;
   for (;;) {
@@ -25,10 +76,10 @@ ServerResponse QueryWithRetry(SkylineServer& server, Subspace v,
         attempts >= retry.max_attempts) {
       break;
     }
-    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-    const auto next = std::chrono::nanoseconds(static_cast<std::int64_t>(
-        static_cast<double>(backoff.count()) * retry.backoff_multiplier));
-    backoff = std::min(next, retry.max_backoff);
+    const std::chrono::nanoseconds backoff =
+        NextBackoff(prev, retry, ThreadLocalRandom());
+    std::this_thread::sleep_for(backoff);
+    prev = backoff;
   }
   if (attempts_out != nullptr) *attempts_out = attempts;
   return response;

@@ -1,5 +1,5 @@
 // Client-side helper for SkylineServer: retry transient kOverloaded
-// responses with capped exponential backoff.
+// responses with capped exponential backoff and decorrelated jitter.
 //
 // Only kOverloaded is retried — it is the one transient status: the
 // queue was full at admission, and a later attempt may find room.
@@ -9,21 +9,50 @@
 #define SKYLINE_SERVER_CLIENT_H_
 
 #include <chrono>
+#include <cstdint>
 
 #include "src/core/subspace.h"
 #include "src/server/server.h"
 
 namespace skyline {
 
-/// Backoff schedule for QueryWithRetry. Attempt k (0-based) sleeps
-/// min(initial_backoff * backoff_multiplier^k, max_backoff) before
-/// retrying.
+/// Backoff schedule for QueryWithRetry.
+///
+/// Without jitter, the sleep before retry k (1-based) is
+///   min(max_backoff, max(prev * backoff_multiplier, prev + min_step))
+/// seeded with prev = min(initial_backoff, max_backoff). The additive
+/// `min_step` floor guarantees the schedule grows even from
+/// `initial_backoff == 0` — a pure multiplicative schedule is stuck at
+/// zero forever (`0 * m == 0`) and hot-loops against an overloaded
+/// server.
+///
+/// With jitter (the default), the sleep is drawn uniformly from
+/// [min_step, min(max_backoff, max(min_step, prev * 3))] — AWS-style
+/// "decorrelated jitter". Synchronized clients that all got rejected by
+/// the same full queue then spread their retries instead of hammering
+/// the server in lockstep at exact power-of-two beats.
 struct RetryOptions {
   int max_attempts = 4;  ///< Total attempts, the first one included.
   std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(1);
   double backoff_multiplier = 2.0;
   std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(50);
+  /// Additive growth floor per retry; also the jitter draw's lower
+  /// bound. Must be positive.
+  std::chrono::nanoseconds min_step = std::chrono::microseconds(1);
+  /// Decorrelate retry times across clients. Disable for deterministic
+  /// tests of the exponential envelope.
+  bool jitter = true;
 };
+
+/// One step of the backoff schedule: the sleep to take after a failed
+/// attempt that slept `prev` before it (pass the seed
+/// min(initial_backoff, max_backoff) for the first step). `rnd` feeds
+/// the jitter draw (any uniformly random 64-bit value; ignored when
+/// retry.jitter is false). Pure — exposed so tests can pin the
+/// schedule's monotone growth and bounds without sleeping.
+std::chrono::nanoseconds NextBackoff(std::chrono::nanoseconds prev,
+                                     const RetryOptions& retry,
+                                     std::uint64_t rnd);
 
 /// Submits `v` to `server` and retries while the response is
 /// kOverloaded, sleeping the backoff schedule between attempts. Returns

@@ -45,6 +45,8 @@ ServerResponse ResponseHandle::Wait() const {
   while (!state_->done) state_->cv.Wait(lock);
   out.status = state_->status;
   out.ids = state_->ids;
+  out.epoch = state_->epoch;
+  out.epoch_delta = state_->epoch_delta;
   out.resolved_at = state_->resolved_at;
   return out;
 }
@@ -56,19 +58,58 @@ bool ResponseHandle::TryGet(ServerResponse* out) const {
   if (out != nullptr) {
     out->status = state_->status;
     out->ids = state_->ids;
+    out->epoch = state_->epoch;
+    out->epoch_delta = state_->epoch_delta;
     out->resolved_at = state_->resolved_at;
   }
   return true;
 }
 
 void SkylineServer::Resolve(internal::ServerResultState& state,
-                            StatusCode status, std::vector<PointId> ids) {
+                            StatusCode status, std::vector<PointId> ids,
+                            std::uint64_t epoch, std::uint64_t epoch_delta) {
   {
     MutexLock lock(state.mu);
     if (state.done) return;
+    // Terminal accounting, exactly once per handle — counted on the
+    // transition itself, BEFORE done becomes observable. A waiter can
+    // only see done=true after taking state.mu, so by the time Wait()
+    // returns the resolved_* counters already include this handle and
+    // the Stats() identities hold with no settle window.
+    switch (status) {
+      case StatusCode::kOk:
+        resolved_ok_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kStale:
+        resolved_stale_.fetch_add(1, std::memory_order_relaxed);
+        if (epoch_delta > 0) {
+          stale_epoch_served_.fetch_add(1, std::memory_order_relaxed);
+          std::uint64_t prev =
+              stale_epoch_delta_max_.load(std::memory_order_relaxed);
+          while (epoch_delta > prev &&
+                 !stale_epoch_delta_max_.compare_exchange_weak(
+                     prev, epoch_delta, std::memory_order_relaxed)) {
+          }
+        }
+        break;
+      case StatusCode::kOverloaded:
+        resolved_overloaded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        resolved_deadline_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kCancelled:
+        resolved_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kShutdown:
+        resolved_shutdown_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
     state.done = true;
     state.status = status;
     state.ids = std::move(ids);
+    state.epoch = epoch;
+    state.epoch_delta = epoch_delta;
     state.resolved_at = std::chrono::steady_clock::now();
   }
   state.cv.NotifyAll();
@@ -119,9 +160,13 @@ ResponseHandle SkylineServer::Submit(Subspace v,
 
   if (options_.inline_fast_hits) {
     std::vector<PointId> ids;
-    if (service_.PeekExact(v, &ids)) {
+    std::uint64_t epoch = 0;
+    // epoch-ok: no epoch_delta passed, so PeekExact only surfaces
+    // current-epoch entries — an inline fast hit is never pre-update.
+    if (service_.PeekExact(v, &ids, &epoch)) {
       fast_hits_.fetch_add(1, std::memory_order_relaxed);
-      Resolve(*state, StatusCode::kOk, std::move(ids));
+      admission_resolved_.fetch_add(1, std::memory_order_relaxed);
+      Resolve(*state, StatusCode::kOk, std::move(ids), epoch, 0);
       return handle;
     }
   }
@@ -147,7 +192,7 @@ ResponseHandle SkylineServer::Submit(Subspace v,
         // dispatch anyway.
         std::deque<Pending> rest;
         for (Pending& p : queue_) {
-          if (p.deadline <= now || p.token.cancelled()) {
+          if (!p.is_update && (p.deadline <= now || p.token.cancelled())) {
             shed.push_back(std::move(p));
           } else {
             rest.push_back(std::move(p));
@@ -169,6 +214,7 @@ ResponseHandle SkylineServer::Submit(Subspace v,
     }
   }
   for (Pending& p : shed) {
+    triaged_.fetch_add(1, std::memory_order_relaxed);
     if (p.token.cancelled()) {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       Resolve(*p.state, StatusCode::kCancelled, {});
@@ -178,25 +224,66 @@ ResponseHandle SkylineServer::Submit(Subspace v,
     }
   }
   if (shutdown) {
+    admission_resolved_.fetch_add(1, std::memory_order_relaxed);
     Resolve(*state, StatusCode::kShutdown, {});
   } else if (reject) {
+    admission_resolved_.fetch_add(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     Resolve(*state, StatusCode::kOverloaded, {});
   } else if (serve_stale) {
     std::vector<PointId> ids;
     StatusCode status = StatusCode::kOverloaded;
-    if (TryStaleAnswer(v, &ids, &status)) {
+    std::uint64_t epoch = 0;
+    std::uint64_t epoch_delta = 0;
+    admission_resolved_.fetch_add(1, std::memory_order_relaxed);
+    if (TryStaleAnswer(v, &ids, &status, &epoch, &epoch_delta)) {
       if (status == StatusCode::kStale) {
         stale_served_.fetch_add(1, std::memory_order_relaxed);
       } else {
+        // Exact current-epoch cuboid was cached: a genuine fast hit —
+        // the request never entered the queue.
         fast_hits_.fetch_add(1, std::memory_order_relaxed);
       }
-      Resolve(*state, status, std::move(ids));
+      Resolve(*state, status, std::move(ids), epoch, epoch_delta);
     } else {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       Resolve(*state, StatusCode::kOverloaded, {});
     }
   }
+  return handle;
+}
+
+ResponseHandle SkylineServer::SubmitUpdate(std::vector<Value> inserts,
+                                           std::vector<PointId> removes) {
+  SKYLINE_ASSERT(inserts.size() % service_.data().num_dims() == 0,
+                 "SubmitUpdate: inserts must be k * num_dims values");
+  updates_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<internal::ServerResultState>();
+  ResponseHandle handle(state);
+  const auto now = std::chrono::steady_clock::now();
+  bool shutdown = false;
+  {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      shutdown = true;
+    } else {
+      // Privileged admission: updates bypass queue_capacity and every
+      // shedding path — dropping one would silently fork the dataset
+      // the clients believe they are mutating.
+      Pending p;
+      p.deadline = std::chrono::steady_clock::time_point::max();
+      p.enqueued_at = now;
+      p.state = state;
+      p.is_update = true;
+      p.inserts = std::move(inserts);
+      p.removes = std::move(removes);
+      queue_.push_back(std::move(p));
+      // Wake everyone: workers blocked mid-queue behind the barrier
+      // logic must re-evaluate, not just one.
+      queue_cv_.NotifyAll();
+    }
+  }
+  if (shutdown) Resolve(*state, StatusCode::kShutdown, {});
   return handle;
 }
 
@@ -208,13 +295,62 @@ ServerResponse SkylineServer::Query(Subspace v,
 void SkylineServer::WorkerLoop() {
   for (;;) {
     std::vector<CuboidGroup> groups;
+    Pending update;
+    bool have_update = false;
     {
       MutexLock lock(mu_);
-      while (queue_.empty() && !stopping_) queue_cv_.Wait(lock);
-      if (queue_.empty()) return;  // stopping, nothing left to drain
-      groups = GatherBatch();
+      for (;;) {
+        if (queue_.empty()) {
+          if (stopping_) return;
+          queue_cv_.Wait(lock);
+          continue;
+        }
+        if (update_active_) {
+          // An update is being applied: no query batch may start and
+          // no second update may overtake it.
+          queue_cv_.Wait(lock);
+          continue;
+        }
+        if (queue_.front().is_update) {
+          if (inflight_batches_ > 0) {
+            // Serialize: every batch gathered before the update must
+            // fully resolve before the epoch moves.
+            queue_cv_.Wait(lock);
+            continue;
+          }
+          update = std::move(queue_.front());
+          queue_.pop_front();
+          have_update = true;
+          update_active_ = true;
+          break;
+        }
+        groups = GatherBatch();
+        ++inflight_batches_;
+        break;
+      }
     }
-    ProcessBatch(std::move(groups));
+    if (have_update) {
+      const auto dispatch_time = std::chrono::steady_clock::now();
+      queue_wait_.Record(ElapsedNanos(update.enqueued_at, dispatch_time));
+      const std::uint64_t epoch =
+          service_.ApplyUpdate(update.inserts, update.removes);
+      updates_applied_.fetch_add(1, std::memory_order_relaxed);
+      Resolve(*update.state, StatusCode::kOk, {}, epoch, 0);
+      {
+        MutexLock lock(mu_);
+        update_active_ = false;
+      }
+      queue_cv_.NotifyAll();
+    } else {
+      ProcessBatch(std::move(groups));
+      {
+        MutexLock lock(mu_);
+        --inflight_batches_;
+      }
+      // A worker may be parked waiting for in-flight batches to drain
+      // before an update; wake everyone to re-evaluate.
+      queue_cv_.NotifyAll();
+    }
   }
 }
 
@@ -222,7 +358,15 @@ std::vector<SkylineServer::CuboidGroup> SkylineServer::GatherBatch() {
   const std::size_t cap = std::max<std::size_t>(1, options_.max_batch_cuboids);
   std::vector<CuboidGroup> groups;
   std::deque<Pending> rest;
+  bool hit_update = false;
   for (Pending& p : queue_) {
+    // Everything at or after the first queued update stays put: those
+    // requests must be answered at the post-update epoch.
+    if (hit_update || p.is_update) {
+      hit_update = true;
+      rest.push_back(std::move(p));
+      continue;
+    }
     CuboidGroup* group = nullptr;
     for (CuboidGroup& g : groups) {
       if (g.v.bits() == p.v.bits()) {
@@ -246,16 +390,11 @@ std::vector<SkylineServer::CuboidGroup> SkylineServer::GatherBatch() {
 
 void SkylineServer::ProcessBatch(std::vector<CuboidGroup> groups) {
   const auto dispatch_time = std::chrono::steady_clock::now();
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_cuboids_.fetch_add(groups.size(), std::memory_order_relaxed);
-  std::uint64_t num_requests = 0;
   for (const CuboidGroup& g : groups) {
     for (const Pending& p : g.waiters) {
-      ++num_requests;
       queue_wait_.Record(ElapsedNanos(p.enqueued_at, dispatch_time));
     }
   }
-  batched_requests_.fetch_add(num_requests, std::memory_order_relaxed);
 
   // Deterministic compute order: larger cuboids first, so results of
   // this cycle can seed its smaller members through the cuboid cache.
@@ -275,6 +414,7 @@ void SkylineServer::ProcessBatch(std::vector<CuboidGroup> groups) {
     for (Pending& p : g.waiters) {
       if (p.token.cancelled()) {
         cancelled_.fetch_add(1, std::memory_order_relaxed);
+        triaged_.fetch_add(1, std::memory_order_relaxed);
         Resolve(*p.state, StatusCode::kCancelled, {});
       } else if (p.deadline <= dispatch_time &&
                  options_.policy != OverloadPolicy::kReject) {
@@ -284,18 +424,27 @@ void SkylineServer::ProcessBatch(std::vector<CuboidGroup> groups) {
       }
     }
     if (!expired.empty()) {
+      triaged_.fetch_add(expired.size(), std::memory_order_relaxed);
       std::vector<PointId> ids;
       StatusCode status = StatusCode::kDeadlineExceeded;
+      std::uint64_t epoch = 0;
+      std::uint64_t epoch_delta = 0;
       if (options_.policy == OverloadPolicy::kServeStale &&
-          TryStaleAnswer(g.v, &ids, &status)) {
+          TryStaleAnswer(g.v, &ids, &status, &epoch, &epoch_delta)) {
         if (status == StatusCode::kStale) {
           stale_served_.fetch_add(expired.size(), std::memory_order_relaxed);
         } else {
-          fast_hits_.fetch_add(expired.size(), std::memory_order_relaxed);
+          // Exact cache serve past the deadline: these requests were
+          // admitted and dispatched, so they are deadline misses — NOT
+          // fast hits (which would double-count them against the
+          // admission-path bucket).
+          deadline_misses_.fetch_add(expired.size(),
+                                     std::memory_order_relaxed);
         }
         for (std::size_t i = 0; i < expired.size(); ++i) {
           Resolve(*expired[i].state, status,
-                  i + 1 == expired.size() ? std::move(ids) : ids);
+                  i + 1 == expired.size() ? std::move(ids) : ids, epoch,
+                  epoch_delta);
         }
       } else {
         shed_expired_.fetch_add(expired.size(), std::memory_order_relaxed);
@@ -307,6 +456,23 @@ void SkylineServer::ProcessBatch(std::vector<CuboidGroup> groups) {
     g.waiters = std::move(live);
   }
 
+  // Batch accounting AFTER triage: a cycle whose every request was
+  // cancelled or shed computed nothing and is not a batch; only cuboids
+  // with live waiters count, and batched_requests is exactly the
+  // requests the batch computes answers for.
+  std::uint64_t live_cuboids = 0;
+  std::uint64_t live_requests = 0;
+  for (const CuboidGroup& g : groups) {
+    if (g.waiters.empty()) continue;
+    ++live_cuboids;
+    live_requests += g.waiters.size();
+  }
+  if (live_cuboids > 0) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_cuboids_.fetch_add(live_cuboids, std::memory_order_relaxed);
+    batched_requests_.fetch_add(live_requests, std::memory_order_relaxed);
+  }
+
   // Union seeding: when several distinct cuboids of this cycle have no
   // cached ancestor, one compute of their union gives the whole cycle a
   // shared seed — one full-dataset scan instead of one per member.
@@ -315,6 +481,8 @@ void SkylineServer::ProcessBatch(std::vector<CuboidGroup> groups) {
     std::size_t unseeded = 0;
     for (const CuboidGroup& g : groups) {
       if (g.waiters.empty()) continue;
+      // epoch-ok: no epoch_delta passed — only a current-epoch ancestor
+      // counts as a seed; stale entries cannot seed.
       if (!service_.PeekNearestAncestor(g.v, nullptr, nullptr)) {
         union_bits |= g.v.bits();
         ++unseeded;
@@ -337,7 +505,8 @@ void SkylineServer::ProcessBatch(std::vector<CuboidGroup> groups) {
 
   for (CuboidGroup& g : groups) {
     if (g.waiters.empty()) continue;
-    std::vector<PointId> ids = service_.Query(g.v);
+    std::uint64_t epoch = 0;
+    std::vector<PointId> ids = service_.Query(g.v, &epoch);
     const auto resolve_time = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < g.waiters.size(); ++i) {
       Pending& p = g.waiters[i];
@@ -345,28 +514,46 @@ void SkylineServer::ProcessBatch(std::vector<CuboidGroup> groups) {
         deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       }
       Resolve(*p.state, StatusCode::kOk,
-              i + 1 == g.waiters.size() ? std::move(ids) : ids);
+              i + 1 == g.waiters.size() ? std::move(ids) : ids, epoch, 0);
     }
   }
 }
 
 bool SkylineServer::TryStaleAnswer(Subspace v, std::vector<PointId>* ids,
-                                   StatusCode* status) {
+                                   StatusCode* status, std::uint64_t* epoch,
+                                   std::uint64_t* epoch_delta) {
   Subspace ancestor;
   std::vector<PointId> seed;
-  if (!service_.PeekNearestAncestor(v, &ancestor, &seed)) return false;
-  if (ancestor.bits() == v.bits()) {
+  std::uint64_t seed_epoch = 0;
+  std::uint64_t seed_delta = 0;
+  // epoch-ok: epoch_delta is passed, deliberately opting into stale
+  // entries — every answer derived here is tagged with the delta, so a
+  // pre-update answer is never returned silently.
+  if (!service_.PeekNearestAncestor(v, &ancestor, &seed, &seed_epoch,
+                                    &seed_delta)) {
+    return false;
+  }
+  if (ancestor.bits() == v.bits() && seed_delta == 0) {
     *ids = std::move(seed);  // exact and current — a plain cache hit
     *status = StatusCode::kOk;
+    *epoch = seed_epoch;
+    *epoch_delta = 0;
     return true;
   }
+  // Row values per id never change across epochs (removal only
+  // tombstones), so the newest version's rows are the right table even
+  // for a stale seed — the result is a sorted subset of the exact
+  // answer at the seed's epoch.
+  const DatasetVersionPtr version = service_.current_version();
   std::uint64_t tests = 0;
   std::vector<PointId> core =
-      SubspaceSkylineOverCandidates(service_.data(), v, seed, &tests);
+      SubspaceSkylineOverCandidates(version->data, v, seed, &tests);
   stale_tests_.fetch_add(tests, std::memory_order_relaxed);
   std::sort(core.begin(), core.end());
   *ids = std::move(core);
   *status = StatusCode::kStale;
+  *epoch = seed_epoch;
+  *epoch_delta = seed_delta;
   return true;
 }
 
@@ -375,6 +562,9 @@ ServerStatsSnapshot SkylineServer::Stats() const {
   snap.submitted = submitted_.load(std::memory_order_relaxed);
   snap.admitted = admitted_.load(std::memory_order_relaxed);
   snap.fast_hits = fast_hits_.load(std::memory_order_relaxed);
+  snap.admission_resolved =
+      admission_resolved_.load(std::memory_order_relaxed);
+  snap.triaged = triaged_.load(std::memory_order_relaxed);
   snap.rejected = rejected_.load(std::memory_order_relaxed);
   snap.shed_expired = shed_expired_.load(std::memory_order_relaxed);
   snap.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
@@ -385,6 +575,20 @@ ServerStatsSnapshot SkylineServer::Stats() const {
   snap.batched_cuboids = batched_cuboids_.load(std::memory_order_relaxed);
   snap.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   snap.union_seeds = union_seeds_.load(std::memory_order_relaxed);
+  snap.updates_submitted = updates_submitted_.load(std::memory_order_relaxed);
+  snap.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  snap.stale_epoch_served =
+      stale_epoch_served_.load(std::memory_order_relaxed);
+  snap.stale_epoch_delta_max =
+      stale_epoch_delta_max_.load(std::memory_order_relaxed);
+  snap.resolved_ok = resolved_ok_.load(std::memory_order_relaxed);
+  snap.resolved_stale = resolved_stale_.load(std::memory_order_relaxed);
+  snap.resolved_overloaded =
+      resolved_overloaded_.load(std::memory_order_relaxed);
+  snap.resolved_deadline = resolved_deadline_.load(std::memory_order_relaxed);
+  snap.resolved_cancelled =
+      resolved_cancelled_.load(std::memory_order_relaxed);
+  snap.resolved_shutdown = resolved_shutdown_.load(std::memory_order_relaxed);
   snap.queue_wait = queue_wait_.Snap();
   snap.query = service_.Stats();
   return snap;

@@ -33,10 +33,22 @@
 //     kCancelled at its next dispatch; best-effort (a request already
 //     being computed still completes as kOk).
 //
-// Status contract (tests/server/ asserts it): kOk answers are EXACT and
-// ascending; kStale answers are a sorted SUBSET of the exact answer
-// (every returned id is truly in the skyline — only duplicate-
-// projection ties may be missing); every other status carries no ids.
+//   * Mutation: SubmitUpdate() enqueues a dataset update (inserts +
+//     removes) as a PRIVILEGED request class — never rejected or shed,
+//     immune to queue_capacity. The batcher serializes it against query
+//     batches: no query batch gathered before the update dispatches
+//     after it, workers drain in-flight batches before applying it, and
+//     no batch starts while it applies. Every response carries the
+//     epoch its answer reflects; with kServeStale, a pre-update cached
+//     answer is surfaced as kStale *tagged with its epoch delta*
+//     (current epoch − answer epoch) — never silently.
+//
+// Status contract (tests/server/ asserts it): kOk answers are EXACT at
+// the response's `epoch` and ascending; kStale answers are a sorted
+// SUBSET of the exact answer at the response's `epoch` (every returned
+// id is truly in that skyline — only duplicate-projection ties may be
+// missing), with `epoch_delta` telling how many updates that epoch
+// lags; every other status carries no ids.
 //
 // See docs/server.md for the admission/batching/degradation state
 // machine and its invariants; src/server/client.h adds the
@@ -148,6 +160,13 @@ struct ServerResponse {
   /// kOk: the exact skyline ids, ascending. kStale: a sorted subset of
   /// them. Empty for every other status.
   std::vector<PointId> ids;
+  /// Dataset epoch the answer reflects (kOk/kStale; for a SubmitUpdate
+  /// handle, the epoch the update installed). 0 otherwise.
+  std::uint64_t epoch = 0;
+  /// How many updates `epoch` lags the epoch that was current when the
+  /// answer was produced. 0 for every kOk answer; > 0 only on kStale
+  /// answers served from a pre-update cache entry.
+  std::uint64_t epoch_delta = 0;
   /// When the server resolved the request (steady clock) — lets callers
   /// compute true request latency without measuring their own Wait()
   /// wakeup delay.
@@ -168,6 +187,8 @@ struct ServerResultState {
   bool done SKYLINE_GUARDED_BY(mu) = false;
   StatusCode status SKYLINE_GUARDED_BY(mu) = StatusCode::kShutdown;
   std::vector<PointId> ids SKYLINE_GUARDED_BY(mu);
+  std::uint64_t epoch SKYLINE_GUARDED_BY(mu) = 0;
+  std::uint64_t epoch_delta SKYLINE_GUARDED_BY(mu) = 0;
   std::chrono::steady_clock::time_point resolved_at SKYLINE_GUARDED_BY(mu);
 };
 
@@ -200,19 +221,61 @@ class ResponseHandle {
 /// Counters of the serving layer, cumulative since construction, plus
 /// the inner QueryService snapshot.
 struct ServerStatsSnapshot {
-  std::uint64_t submitted = 0;     ///< Submit() calls.
-  std::uint64_t admitted = 0;      ///< Entered the queue.
-  std::uint64_t fast_hits = 0;     ///< Resolved inline from the cache.
+  std::uint64_t submitted = 0;  ///< Submit() calls (queries only).
+  std::uint64_t admitted = 0;   ///< Entered the queue.
+  /// Resolved kOk straight from the cache WITHOUT a dispatch cycle —
+  /// the inline path in Submit() or the cache-exact branch of the
+  /// kServeStale admission fallback. A request that was admitted and
+  /// later served from the cache at dispatch is NOT a fast hit (it is
+  /// batched, and a deadline miss if expired).
+  std::uint64_t fast_hits = 0;
+  /// Requests resolved at Submit() time without entering the queue:
+  /// inline fast hits, admission rejections, the kServeStale admission
+  /// fallback, and submits against a stopping server. Admission
+  /// identity: submitted == admitted + admission_resolved.
+  std::uint64_t admission_resolved = 0;
+  /// Admitted requests resolved WITHOUT a batch compute: shed from the
+  /// queue by the make-room pass, or triaged at dispatch (cancelled,
+  /// shed expired, expired served from the cache). Queue identity once
+  /// the queue is drained: admitted == batched_requests + triaged
+  /// (+ requests orphaned by shutdown).
+  std::uint64_t triaged = 0;
   std::uint64_t rejected = 0;      ///< kOverloaded at admission.
   std::uint64_t shed_expired = 0;  ///< kDeadlineExceeded (queue or dispatch).
   std::uint64_t deadline_misses = 0;  ///< kOk served past the deadline.
   std::uint64_t cancelled = 0;        ///< kCancelled at dispatch.
   std::uint64_t stale_served = 0;     ///< kStale responses.
   std::uint64_t stale_tests = 0;   ///< Dominance tests on the stale path.
-  std::uint64_t batches = 0;       ///< Dispatch cycles.
-  std::uint64_t batched_cuboids = 0;   ///< Distinct cuboids dispatched.
-  std::uint64_t batched_requests = 0;  ///< Requests dispatched.
+  /// Dispatch cycles that computed at least one cuboid for a live
+  /// waiter. Cycles fully consumed by triage (all requests cancelled or
+  /// shed) are not batches.
+  std::uint64_t batches = 0;
+  std::uint64_t batched_cuboids = 0;   ///< Distinct cuboids computed.
+  std::uint64_t batched_requests = 0;  ///< Requests resolved by a batch
+                                       ///< compute (kOk at dispatch).
   std::uint64_t union_seeds = 0;  ///< Union cuboids computed as batch seeds.
+
+  // ---- Mutation counters ----
+  std::uint64_t updates_submitted = 0;  ///< SubmitUpdate() calls.
+  std::uint64_t updates_applied = 0;    ///< Updates the batcher applied.
+  std::uint64_t stale_epoch_served = 0;  ///< kStale with epoch_delta > 0 —
+                                         ///< pre-update answers, tagged.
+  std::uint64_t stale_epoch_delta_max = 0;  ///< Largest delta ever served.
+
+  // ---- Terminal accounting (exactly one per resolved handle) ----
+  // Incremented at the resolve transition itself, so after every handle
+  // of a run has resolved:
+  //   submitted + updates_submitted == resolved_ok + resolved_stale +
+  //     resolved_overloaded + resolved_deadline + resolved_cancelled +
+  //     resolved_shutdown
+  // (an update handle resolves kOk, or kShutdown when never applied).
+  std::uint64_t resolved_ok = 0;
+  std::uint64_t resolved_stale = 0;
+  std::uint64_t resolved_overloaded = 0;
+  std::uint64_t resolved_deadline = 0;
+  std::uint64_t resolved_cancelled = 0;
+  std::uint64_t resolved_shutdown = 0;
+
   LatencyHistogram::Snapshot queue_wait;  ///< Submit-to-dispatch wait.
   QueryStatsSnapshot query;               ///< Inner QueryService counters.
 
@@ -222,11 +285,17 @@ struct ServerStatsSnapshot {
                         : static_cast<double>(batched_requests) /
                               static_cast<double>(batches);
   }
+
+  std::uint64_t resolved_total() const {
+    return resolved_ok + resolved_stale + resolved_overloaded +
+           resolved_deadline + resolved_cancelled + resolved_shutdown;
+  }
 };
 
 /// Asynchronous, deadline-aware, batching skyline server over one
-/// Dataset (which must outlive the server and stay unmodified). All
-/// public methods are safe to call concurrently.
+/// Dataset (which must outlive the server and stay unmodified — it is
+/// snapshotted as epoch 0, and all later mutation goes through
+/// SubmitUpdate). All public methods are safe to call concurrently.
 class SkylineServer {
  public:
   explicit SkylineServer(const Dataset& data, ServerOptions options = {});
@@ -251,6 +320,19 @@ class SkylineServer {
                         std::chrono::nanoseconds timeout = kNoTimeout,
                         CancellationToken token = {}) SKYLINE_EXCLUDES(mu_);
 
+  /// Non-blocking admission of a dataset update: `inserts` is a
+  /// row-major block of k * num_dims values appended as k new points,
+  /// `removes` tombstones live pre-existing points (see
+  /// QueryService::ApplyUpdate for the id rules). Updates are a
+  /// privileged request class: never rejected, shed or cancelled, and
+  /// exempt from queue_capacity — only shutdown resolves one without
+  /// applying it. The batcher serializes the update against query
+  /// batches in queue order; the handle resolves kOk with `epoch` set
+  /// to the epoch the update installed (ids empty).
+  ResponseHandle SubmitUpdate(std::vector<Value> inserts,
+                              std::vector<PointId> removes)
+      SKYLINE_EXCLUDES(mu_);
+
   /// Convenience: Submit + Wait.
   ServerResponse Query(Subspace v,
                        std::chrono::nanoseconds timeout = kNoTimeout)
@@ -263,13 +345,18 @@ class SkylineServer {
   const QueryService& service() const { return service_; }
 
  private:
-  /// One admitted, undispatched request.
+  /// One admitted, undispatched request — a query, or a privileged
+  /// dataset update (is_update) that the batcher serializes against
+  /// query batches.
   struct Pending {
     Subspace v;
     std::chrono::steady_clock::time_point deadline;
     std::chrono::steady_clock::time_point enqueued_at;
     CancellationToken token;
     std::shared_ptr<internal::ServerResultState> state;
+    bool is_update = false;
+    std::vector<Value> inserts;    ///< is_update only: row-major block.
+    std::vector<PointId> removes;  ///< is_update only.
   };
 
   /// All requests of one distinct cuboid within a dispatch cycle.
@@ -278,27 +365,36 @@ class SkylineServer {
     std::vector<Pending> waiters;
   };
 
-  /// Resolves `state` exactly once; later calls are no-ops.
-  static void Resolve(internal::ServerResultState& state, StatusCode status,
-                      std::vector<PointId> ids);
+  /// Resolves `state` exactly once (later calls are no-ops) and — only
+  /// on the actual transition — increments the matching resolved_*
+  /// terminal counter and the stale-epoch tallies, so the accounting
+  /// identity in ServerStatsSnapshot holds by construction.
+  void Resolve(internal::ServerResultState& state, StatusCode status,
+               std::vector<PointId> ids, std::uint64_t epoch = 0,
+               std::uint64_t epoch_delta = 0);
 
   void WorkerLoop() SKYLINE_EXCLUDES(mu_);
 
   /// Pops the next dispatch cycle off the queue: up to
   /// `max_batch_cuboids` distinct cuboids from the front plus every
-  /// queued duplicate of them.
+  /// queued duplicate of them. Stops at the first queued update — a
+  /// query submitted after an update must never coalesce into a batch
+  /// dispatched before it.
   std::vector<CuboidGroup> GatherBatch() SKYLINE_REQUIRES(mu_);
 
   /// Computes / sheds / stale-serves one gathered cycle.
   void ProcessBatch(std::vector<CuboidGroup> groups) SKYLINE_EXCLUDES(mu_);
 
   /// Bounded-staleness answer for `v` from the nearest cached ancestor:
-  /// `*status` is kOk when the exact cuboid is cached, kStale (sorted
-  /// subset) when computed from an ancestor's candidates. Returns false
-  /// — caller picks the fallback status — when nothing is cached. Never
-  /// touches the full dataset.
+  /// `*status` is kOk when the exact current-epoch cuboid is cached,
+  /// kStale (sorted subset of the exact answer at `*epoch`) when
+  /// computed from an ancestor's candidates — possibly a stale entry,
+  /// reported through `*epoch` / `*epoch_delta`. Returns false — caller
+  /// picks the fallback status — when nothing is cached. Never touches
+  /// the full dataset.
   bool TryStaleAnswer(Subspace v, std::vector<PointId>* ids,
-                      StatusCode* status);
+                      StatusCode* status, std::uint64_t* epoch,
+                      std::uint64_t* epoch_delta);
 
   const ServerOptions options_;
   QueryService service_;  // unguarded: internally synchronized
@@ -308,6 +404,11 @@ class SkylineServer {
   std::deque<Pending> queue_ SKYLINE_GUARDED_BY(mu_);
   bool stopping_ SKYLINE_GUARDED_BY(mu_) = false;
   bool started_ SKYLINE_GUARDED_BY(mu_) = false;
+  /// The update barrier: while an update is being applied no query
+  /// batch may start, and an update may only start once every in-flight
+  /// batch has drained.
+  bool update_active_ SKYLINE_GUARDED_BY(mu_) = false;
+  std::size_t inflight_batches_ SKYLINE_GUARDED_BY(mu_) = 0;
   // Written only while holding mu_ in Start(); joined in the destructor
   // after every worker exited, so never accessed concurrently.
   std::vector<std::thread> workers_;  // unguarded: joined before access
@@ -315,6 +416,8 @@ class SkylineServer {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> fast_hits_{0};
+  std::atomic<std::uint64_t> admission_resolved_{0};
+  std::atomic<std::uint64_t> triaged_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> shed_expired_{0};
   std::atomic<std::uint64_t> deadline_misses_{0};
@@ -325,6 +428,16 @@ class SkylineServer {
   std::atomic<std::uint64_t> batched_cuboids_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> union_seeds_{0};
+  std::atomic<std::uint64_t> updates_submitted_{0};
+  std::atomic<std::uint64_t> updates_applied_{0};
+  std::atomic<std::uint64_t> stale_epoch_served_{0};
+  std::atomic<std::uint64_t> stale_epoch_delta_max_{0};
+  std::atomic<std::uint64_t> resolved_ok_{0};
+  std::atomic<std::uint64_t> resolved_stale_{0};
+  std::atomic<std::uint64_t> resolved_overloaded_{0};
+  std::atomic<std::uint64_t> resolved_deadline_{0};
+  std::atomic<std::uint64_t> resolved_cancelled_{0};
+  std::atomic<std::uint64_t> resolved_shutdown_{0};
   LatencyHistogram queue_wait_;  // unguarded: internally lock-free atomics
 };
 

@@ -76,15 +76,20 @@ struct ProjectionHasher {
 
 }  // namespace
 
-std::vector<PointId> CloseUnderProjectionTies(
-    const Dataset& data, Subspace subspace,
-    const std::vector<PointId>& core) {
+namespace {
+
+/// Shared body of the two tie-repair overloads; `live` may be null
+/// (every row eligible) or must have one flag per dataset row.
+std::vector<PointId> CloseUnderProjectionTiesImpl(
+    const Dataset& data, Subspace subspace, const std::vector<PointId>& core,
+    const std::vector<char>* live) {
   ProjectionHasher hasher{&data, subspace};
   std::unordered_multimap<std::size_t, PointId> core_by_hash;
   core_by_hash.reserve(core.size() * 2);
   for (PointId p : core) core_by_hash.emplace(hasher.Hash(p), p);
   std::vector<PointId> out;
   for (PointId p = 0; p < data.num_points(); ++p) {
+    if (live != nullptr && (*live)[p] == 0) continue;
     const auto [begin, end] = core_by_hash.equal_range(hasher.Hash(p));
     for (auto it = begin; it != end; ++it) {
       if (EqualInSubspace(data.row(p), data.row(it->second), subspace)) {
@@ -94,6 +99,22 @@ std::vector<PointId> CloseUnderProjectionTies(
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<PointId> CloseUnderProjectionTies(
+    const Dataset& data, Subspace subspace,
+    const std::vector<PointId>& core) {
+  return CloseUnderProjectionTiesImpl(data, subspace, core, nullptr);
+}
+
+std::vector<PointId> CloseUnderProjectionTies(
+    const Dataset& data, Subspace subspace, const std::vector<PointId>& core,
+    const std::vector<char>& live) {
+  SKYLINE_ASSERT(live.size() == data.num_points(),
+                 "CloseUnderProjectionTies: live mask size != num_points");
+  return CloseUnderProjectionTiesImpl(data, subspace, core, &live);
 }
 
 Dataset ProjectDataset(const Dataset& data, Subspace subspace) {

@@ -56,6 +56,15 @@ std::vector<PointId> CloseUnderProjectionTies(const Dataset& data,
                                               Subspace subspace,
                                               const std::vector<PointId>& core);
 
+/// Tombstone-aware variant of the tie repair: only rows with
+/// `live[id] != 0` are admitted, so a removed row can never resurrect
+/// through a projection tie. `live` must have one flag per dataset row.
+/// This is the query service's repair over a mutated DatasetVersion.
+std::vector<PointId> CloseUnderProjectionTies(const Dataset& data,
+                                              Subspace subspace,
+                                              const std::vector<PointId>& core,
+                                              const std::vector<char>& live);
+
 /// Copies `data` restricted to the member dimensions of the non-empty
 /// `subspace` (column order preserved, row ids unchanged) — the bridge
 /// that lets the full-space subset-boosted engines answer subspace

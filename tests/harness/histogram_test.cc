@@ -131,6 +131,59 @@ TEST(LatencyHistogramTest, SaturatingTopBucket) {
             LatencyHistogram::BucketUpperNanos(kTop));
 }
 
+TEST(LatencyHistogramTest, NonFinitePercentileActsAsMax) {
+  // A NaN or infinite p used to slide past std::clamp (NaN compares
+  // false against everything) and hit an undefined float-to-int cast.
+  // The pinned contract: non-finite p is treated as p == 100.
+  LatencyHistogram hist;
+  for (int i = 0; i < 5; ++i) hist.Record(100);    // bucket 6
+  for (int i = 0; i < 5; ++i) hist.Record(50000);  // bucket 15
+  const auto snap = hist.Snap();
+  const std::uint64_t max_bound = LatencyHistogram::BucketUpperNanos(15);
+  EXPECT_EQ(snap.PercentileNanos(std::numeric_limits<double>::quiet_NaN()),
+            max_bound);
+  EXPECT_EQ(snap.PercentileNanos(std::numeric_limits<double>::infinity()),
+            max_bound);
+  EXPECT_EQ(snap.PercentileNanos(-std::numeric_limits<double>::infinity()),
+            max_bound);
+  // The empty histogram wins over the non-finite rule: still 0.
+  const auto empty = LatencyHistogram().Snap();
+  EXPECT_EQ(empty.PercentileNanos(std::numeric_limits<double>::quiet_NaN()),
+            0u);
+}
+
+TEST(LatencyHistogramTest, PercentileZeroIsSmallestNonEmptyBucket) {
+  LatencyHistogram hist;
+  hist.Record(50000);  // bucket 15 only — buckets below it are empty
+  hist.Record(70000);
+  const auto snap = hist.Snap();
+  // p == 0 must skip empty low buckets and land on the first occupied
+  // one (the rank-1 sample's bucket), not report bucket 0's bound.
+  EXPECT_EQ(snap.PercentileNanos(0), LatencyHistogram::BucketUpperNanos(15));
+  EXPECT_EQ(snap.PercentileNanos(100), LatencyHistogram::BucketUpperNanos(16));
+}
+
+TEST(LatencyHistogramTest, PercentileIsAlwaysSomeBucketBound) {
+  // Fuzz the contract's range guarantee: whatever p is thrown at a
+  // non-empty snapshot, the result is BucketUpperNanos(b) of some
+  // occupied bucket.
+  LatencyHistogram hist;
+  hist.Record(3);
+  hist.Record(900);
+  hist.Record(1 << 20);
+  const auto snap = hist.Snap();
+  const std::vector<std::uint64_t> valid = {
+      LatencyHistogram::BucketUpperNanos(1),
+      LatencyHistogram::BucketUpperNanos(9),
+      LatencyHistogram::BucketUpperNanos(20),
+  };
+  for (double p : {-1e9, -0.1, 0.0, 0.5, 33.3, 66.7, 99.9, 100.0, 1e9}) {
+    const std::uint64_t result = snap.PercentileNanos(p);
+    EXPECT_NE(std::find(valid.begin(), valid.end(), result), valid.end())
+        << "p=" << p << " returned " << result;
+  }
+}
+
 TEST(LatencyHistogramTest, ConcurrentRecordAndSnapshot) {
   // Recorders and a snapshotter run concurrently; the TSan preset runs
   // this test, so any non-atomic counter access would be flagged. Mid-

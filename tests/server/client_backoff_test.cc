@@ -1,0 +1,132 @@
+// Tests of the client retry backoff schedule (NextBackoff): the
+// `0 * multiplier == 0` hot-loop regression, monotone non-zero growth
+// of the deterministic envelope, saturation at max_backoff, and the
+// bounds of the decorrelated-jitter draw.
+#include "src/server/client.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace skyline {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+RetryOptions NoJitter() {
+  RetryOptions retry;
+  retry.jitter = false;
+  return retry;
+}
+
+TEST(ClientBackoffTest, ZeroSeedGrowsImmediately) {
+  // The regression: with initial_backoff == 0 a pure multiplicative
+  // schedule sleeps 0 forever and hot-loops against the server. The
+  // min_step floor must make the very first step non-zero.
+  RetryOptions retry = NoJitter();
+  retry.initial_backoff = nanoseconds(0);
+  const nanoseconds first = NextBackoff(nanoseconds(0), retry, 0);
+  EXPECT_GE(first, retry.min_step);
+  EXPECT_GT(first.count(), 0);
+}
+
+TEST(ClientBackoffTest, DeterministicScheduleIsMonotoneNonZero) {
+  RetryOptions retry = NoJitter();
+  retry.initial_backoff = nanoseconds(0);
+  retry.max_backoff = milliseconds(50);
+  nanoseconds prev = retry.initial_backoff;
+  std::vector<nanoseconds> schedule;
+  for (int k = 0; k < 40; ++k) {
+    const nanoseconds next = NextBackoff(prev, retry, 0);
+    schedule.push_back(next);
+    EXPECT_GT(next.count(), 0) << "step " << k << " slept zero";
+    EXPECT_LE(next, retry.max_backoff);
+    if (prev < retry.max_backoff) {
+      // Strictly increasing by at least min_step until saturation.
+      EXPECT_GE(next, std::min(retry.max_backoff, prev + retry.min_step))
+          << "step " << k << " did not grow";
+    } else {
+      EXPECT_EQ(next, retry.max_backoff);
+    }
+    prev = next;
+  }
+  // The schedule must actually reach the cap (it cannot plateau early).
+  EXPECT_EQ(schedule.back(), retry.max_backoff);
+}
+
+TEST(ClientBackoffTest, DeterministicScheduleIsEventuallyExponential) {
+  RetryOptions retry = NoJitter();
+  retry.initial_backoff = microseconds(1);
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff = milliseconds(500);
+  nanoseconds prev = retry.initial_backoff;
+  for (int k = 0; k < 10; ++k) {
+    const nanoseconds next = NextBackoff(prev, retry, 0);
+    // Above the additive floor the multiplier dominates exactly.
+    EXPECT_EQ(next.count(), prev.count() * 2) << "step " << k;
+    prev = next;
+  }
+}
+
+TEST(ClientBackoffTest, SaturatesAtMaxBackoff) {
+  RetryOptions retry = NoJitter();
+  retry.max_backoff = microseconds(100);
+  const nanoseconds capped = NextBackoff(microseconds(90), retry, 0);
+  EXPECT_EQ(capped, microseconds(100));
+  EXPECT_EQ(NextBackoff(retry.max_backoff, retry, 0), retry.max_backoff);
+}
+
+TEST(ClientBackoffTest, JitterDrawStaysInDecorrelatedBounds) {
+  RetryOptions retry;  // jitter on
+  retry.min_step = microseconds(1);
+  retry.max_backoff = milliseconds(50);
+  const nanoseconds prev = microseconds(100);
+  const nanoseconds lo = retry.min_step;
+  const nanoseconds hi = microseconds(300);  // 3 * prev < max_backoff
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  nanoseconds min_seen = hi, max_seen = lo;
+  for (int i = 0; i < 2000; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    const nanoseconds draw = NextBackoff(prev, retry, rng);
+    EXPECT_GE(draw, lo);
+    EXPECT_LE(draw, hi);
+    min_seen = std::min(min_seen, draw);
+    max_seen = std::max(max_seen, draw);
+  }
+  // The draw actually uses the range (not pinned to one endpoint).
+  EXPECT_LT(min_seen, nanoseconds(hi.count() / 4));
+  EXPECT_GT(max_seen, nanoseconds(hi.count() * 3 / 4));
+}
+
+TEST(ClientBackoffTest, JitterDrawIsNeverZeroEvenFromZeroPrev) {
+  RetryOptions retry;  // jitter on
+  std::uint64_t rng = 42;
+  for (int i = 0; i < 100; ++i) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    const nanoseconds draw = NextBackoff(nanoseconds(0), retry, rng);
+    EXPECT_GE(draw, retry.min_step);
+    EXPECT_GT(draw.count(), 0);
+  }
+}
+
+TEST(ClientBackoffTest, JitterDrawIsCappedByMaxBackoff) {
+  RetryOptions retry;  // jitter on
+  retry.max_backoff = microseconds(200);
+  std::uint64_t rng = 7;
+  for (int i = 0; i < 200; ++i) {
+    rng = rng * 2862933555777941757ULL + 3037000493ULL;
+    // 3 * prev would exceed the cap; the draw must clamp to it.
+    const nanoseconds draw = NextBackoff(microseconds(150), retry, rng);
+    EXPECT_GE(draw, retry.min_step);
+    EXPECT_LE(draw, retry.max_backoff);
+  }
+}
+
+}  // namespace
+}  // namespace skyline

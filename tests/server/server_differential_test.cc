@@ -119,7 +119,22 @@ void RunLoad(const Dataset& data, const LoadConfig& config) {
   const std::uint64_t total =
       static_cast<std::uint64_t>(config.threads) * config.requests_per_thread;
   EXPECT_EQ(stats.submitted, total) << config.label;
-  EXPECT_EQ(stats.batched_requests, stats.admitted) << config.label;
+  // Exact accounting: every submit either resolved at admission or was
+  // admitted; every admitted request was either computed by a batch or
+  // triaged away — and each got exactly one terminal status (every
+  // handle was Wait()ed above, so the queue is fully drained).
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.admission_resolved)
+      << config.label;
+  EXPECT_EQ(stats.admitted, stats.batched_requests + stats.triaged)
+      << config.label;
+  EXPECT_EQ(stats.submitted + stats.updates_submitted, stats.resolved_total())
+      << config.label;
+  // No bucket double-counts: the per-status resolution counters must
+  // re-add to the per-path ones.
+  EXPECT_EQ(stats.resolved_overloaded, stats.rejected) << config.label;
+  EXPECT_EQ(stats.resolved_cancelled, stats.cancelled) << config.label;
+  EXPECT_EQ(stats.resolved_deadline, stats.shed_expired) << config.label;
+  EXPECT_EQ(stats.resolved_stale, stats.stale_served) << config.label;
   // Every request got some terminal status; most workloads must get
   // real answers through.
   if (config.cancel_percent == 0 && config.deadline_percent == 0 &&

@@ -288,6 +288,136 @@ TEST(SkylineServerTest, StatusCodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kShutdown), "kShutdown");
 }
 
+TEST(SkylineServerUpdateTest, SubmitUpdateAppliesAndTagsEpoch) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 200, 3, 96);
+  SkylineServer server(data);
+  // A point dominating everything: after the update, every cuboid
+  // collapses to the new id.
+  ResponseHandle update =
+      server.SubmitUpdate(std::vector<Value>{-1.0, -1.0, -1.0}, {});
+  const ServerResponse applied = update.Wait();
+  EXPECT_EQ(applied.status, StatusCode::kOk);
+  EXPECT_EQ(applied.epoch, 1u);
+  EXPECT_EQ(applied.epoch_delta, 0u);
+  EXPECT_TRUE(applied.ids.empty());
+
+  const ServerResponse response = server.Query(Subspace(0b011));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_EQ(response.ids, std::vector<PointId>{200});
+  EXPECT_EQ(response.epoch, 1u);
+
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.updates_submitted, 1u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.query.epoch, 1u);
+  EXPECT_EQ(stats.submitted + stats.updates_submitted, stats.resolved_total());
+}
+
+TEST(SkylineServerUpdateTest, UpdateIsABarrierBetweenQueuedBatches) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 250, 3, 97);
+  ServerOptions options;
+  options.auto_start = false;
+  options.workers = 2;  // the barrier, not worker count, must order them
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+  const Subspace v(0b111);
+
+  // Queue order: query A | update (dominating point) | query B. The
+  // batcher must dispatch A before the update and B after it.
+  ResponseHandle before = server.Submit(v);
+  ResponseHandle update =
+      server.SubmitUpdate(std::vector<Value>{-1.0, -1.0, -1.0}, {});
+  ResponseHandle after = server.Submit(v);
+  server.Start();
+
+  const ServerResponse a = before.Wait();
+  EXPECT_EQ(a.status, StatusCode::kOk);
+  EXPECT_EQ(a.epoch, 0u);
+  EXPECT_EQ(a.ids, SubspaceSkyline(data, v));
+
+  EXPECT_EQ(update.Wait().epoch, 1u);
+
+  const ServerResponse b = after.Wait();
+  EXPECT_EQ(b.status, StatusCode::kOk);
+  EXPECT_EQ(b.epoch, 1u);
+  EXPECT_EQ(b.ids, std::vector<PointId>{250});
+
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.batches, 2u);  // the update split one gather into two
+  EXPECT_EQ(stats.submitted + stats.updates_submitted, stats.resolved_total());
+}
+
+TEST(SkylineServerUpdateTest, UpdatesBypassQueueCapacityAndReject) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 150, 3, 98);
+  ServerOptions options;
+  options.auto_start = false;
+  options.queue_capacity = 0;
+  options.policy = OverloadPolicy::kReject;
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+
+  EXPECT_EQ(server.Query(Subspace(0b001)).status, StatusCode::kOverloaded);
+  ResponseHandle update =
+      server.SubmitUpdate(std::vector<Value>{0.5, 0.5, 0.5}, {});
+  ServerResponse probe;
+  EXPECT_FALSE(update.TryGet(&probe));  // queued, not rejected
+  server.Start();
+  const ServerResponse applied = update.Wait();
+  EXPECT_EQ(applied.status, StatusCode::kOk);
+  EXPECT_EQ(applied.epoch, 1u);
+  EXPECT_EQ(server.Stats().rejected, 1u);  // only the query
+}
+
+TEST(SkylineServerUpdateTest, QueuedUpdateResolvesShutdownOnDestruction) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 100, 3, 99);
+  ResponseHandle update;
+  {
+    ServerOptions options;
+    options.auto_start = false;  // never started: the update stays queued
+    SkylineServer server(data, options);
+    update = server.SubmitUpdate(std::vector<Value>{0.5, 0.5, 0.5}, {});
+  }
+  const ServerResponse response = update.Wait();
+  EXPECT_EQ(response.status, StatusCode::kShutdown);
+}
+
+TEST(SkylineServerUpdateTest, ServeStaleTagsPreUpdateAnswersWithEpochDelta) {
+  const Dataset data = Generate(DataType::kAntiCorrelated, 300, 3, 100);
+  ServerOptions options;
+  options.workers = 1;
+  options.policy = OverloadPolicy::kServeStale;
+  options.query.pin_full_space = false;  // let the cached entry go stale
+  options.inline_fast_hits = false;
+  SkylineServer server(data, options);
+  const Subspace full = Subspace::Full(3);
+
+  // Warm the cache at epoch 0, then invalidate the entry by removing a
+  // member of its answer (unrepairable, left stale).
+  const ServerResponse warm = server.Query(full);
+  ASSERT_EQ(warm.status, StatusCode::kOk);
+  ASSERT_FALSE(warm.ids.empty());
+  ASSERT_EQ(server.SubmitUpdate({}, {warm.ids.front()}).Wait().epoch, 1u);
+
+  // An already-expired request hits the dispatch-time serve-stale path;
+  // the only cached ancestor is the pre-update full-space entry, so the
+  // degraded answer must be tagged with its age instead of passing as
+  // current.
+  const ServerResponse stale = server.Query(Subspace(0b011), nanoseconds(0));
+  EXPECT_EQ(stale.status, StatusCode::kStale);
+  EXPECT_EQ(stale.epoch, 0u);
+  EXPECT_EQ(stale.epoch_delta, 1u);
+  // Sound for the epoch it reports: a sorted subset of the epoch-0
+  // oracle for the queried cuboid.
+  EXPECT_TRUE(
+      IsSortedSubsetOf(stale.ids, SubspaceSkyline(data, Subspace(0b011))));
+
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.stale_epoch_served, 1u);
+  EXPECT_EQ(stats.stale_epoch_delta_max, 1u);
+  EXPECT_EQ(stats.submitted + stats.updates_submitted, stats.resolved_total());
+}
+
 TEST(RetryClientTest, ReturnsFirstSuccessWithoutRetrying) {
   const Dataset data = Generate(DataType::kUniformIndependent, 200, 3, 94);
   SkylineServer server(data);

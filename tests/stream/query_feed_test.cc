@@ -1,0 +1,137 @@
+// Tests of QueryFeed: batching semantics (auto-flush at batch_size,
+// explicit Flush, remove-of-pending forcing a flush), the stable-id
+// contract between Push and the service, and the StreamingSkyline
+// mirror's arrival numbering.
+#include "src/stream/query_feed.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/data/generator.h"
+#include "src/query/query_service.h"
+#include "src/skycube/skycube.h"
+
+namespace skyline {
+namespace {
+
+std::vector<Value> Row(Value a, Value b) { return {a, b}; }
+
+TEST(QueryFeedTest, BuffersUntilBatchSizeThenFlushes) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 50, 2, 60);
+  QueryService service(data);
+  QueryFeedOptions options;
+  options.batch_size = 3;
+  QueryFeed feed(service, options);
+
+  EXPECT_EQ(feed.Push(Row(0.1, 0.9)), 50u);
+  EXPECT_EQ(feed.Push(Row(0.2, 0.8)), 51u);
+  EXPECT_EQ(feed.pending(), 2u);
+  EXPECT_EQ(service.epoch(), 0u);  // nothing applied yet
+
+  EXPECT_EQ(feed.Push(Row(0.3, 0.7)), 52u);  // third event: auto-flush
+  EXPECT_EQ(feed.pending(), 0u);
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.current_version()->data.num_points(), 53u);
+  EXPECT_EQ(feed.flushed_inserts(), 3u);
+}
+
+TEST(QueryFeedTest, ExplicitFlushAppliesPartialBatch) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 50, 2, 61);
+  QueryService service(data);
+  QueryFeed feed(service);  // default batch_size 64
+
+  feed.Push(Row(0.0, 1.0));
+  EXPECT_EQ(feed.pending(), 1u);
+  EXPECT_EQ(feed.Flush(), 1u);
+  EXPECT_EQ(feed.pending(), 0u);
+  // Flushing nothing is a no-op that reports the current epoch.
+  EXPECT_EQ(feed.Flush(), 1u);
+  EXPECT_EQ(service.Stats().updates, 1u);
+}
+
+TEST(QueryFeedTest, RemoveOfFlushedPointTombstonesIt) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 50, 2, 62);
+  QueryService service(data);
+  QueryFeedOptions options;
+  options.batch_size = 2;
+  QueryFeed feed(service, options);
+
+  feed.Remove(7);
+  EXPECT_EQ(feed.pending(), 1u);
+  feed.Remove(9);  // second event: auto-flush
+  EXPECT_EQ(feed.pending(), 0u);
+  const DatasetVersionPtr version = service.current_version();
+  EXPECT_FALSE(version->IsLive(7));
+  EXPECT_FALSE(version->IsLive(9));
+  EXPECT_EQ(version->num_live, 48u);
+  EXPECT_EQ(feed.flushed_removes(), 2u);
+}
+
+TEST(QueryFeedTest, RemoveOfPendingInsertForcesAFlushFirst) {
+  const Dataset data = Generate(DataType::kUniformIndependent, 50, 2, 63);
+  QueryService service(data);
+  QueryFeed feed(service);  // batch_size 64: nothing flushes on its own
+
+  const PointId id = feed.Push(Row(0.5, 0.5));
+  EXPECT_EQ(id, 50u);
+  // Removing the still-buffered point must first ship its insert (an
+  // ApplyUpdate batch cannot remove its own inserts), then buffer the
+  // remove.
+  feed.Remove(id);
+  EXPECT_EQ(service.epoch(), 1u);  // the forced flush
+  EXPECT_EQ(feed.pending(), 1u);   // the remove, still buffered
+  feed.Flush();
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_FALSE(service.current_version()->IsLive(id));
+}
+
+TEST(QueryFeedTest, ServedAnswersTrackTheFeed) {
+  const Dataset data = Generate(DataType::kAntiCorrelated, 100, 3, 64);
+  QueryService service(data);
+  QueryFeedOptions options;
+  options.batch_size = 5;
+  QueryFeed feed(service, options);
+
+  // A point dominating everything: once its batch lands, every cuboid
+  // collapses to it.
+  const PointId champion = feed.Push(std::vector<Value>{-1.0, -1.0, -1.0});
+  for (int i = 0; i < 4; ++i) {
+    feed.Push(std::vector<Value>{1.0 + i, 1.0 + i, 1.0 + i});
+  }
+  EXPECT_EQ(feed.pending(), 0u);  // fifth push flushed
+  for (std::uint64_t bits = 1; bits < 8; ++bits) {
+    EXPECT_EQ(service.Query(Subspace(bits)), std::vector<PointId>{champion});
+  }
+  // Remove the champion; the skyline reverts to the base answer.
+  feed.Remove(champion);
+  feed.Flush();
+  EXPECT_EQ(service.Query(Subspace::Full(3)),
+            SubspaceSkyline(service.data(), Subspace::Full(3)));
+}
+
+TEST(QueryFeedTest, MirrorsArrivalsIntoStreamingSkyline) {
+  const Dataset data(2);  // empty service dataset: ids align from 0
+  QueryService service(data);
+  StreamingSkyline stream(2);
+  QueryFeedOptions options;
+  options.batch_size = 1;  // flush every event
+  QueryFeed feed(service, stream, options);
+
+  const std::vector<std::vector<Value>> arrivals = {
+      {0.5, 0.5}, {0.2, 0.8}, {0.8, 0.2}, {0.9, 0.9}, {0.1, 0.1}};
+  for (const std::vector<Value>& row : arrivals) feed.Push(row);
+
+  EXPECT_EQ(stream.num_points(), 5u);
+  EXPECT_EQ(service.current_version()->data.num_points(), 5u);
+
+  // Same ids, same full-space skyline in both layers.
+  std::vector<PointId> stream_sky = stream.Skyline();
+  std::sort(stream_sky.begin(), stream_sky.end());
+  EXPECT_EQ(service.Query(Subspace::Full(2)), stream_sky);
+}
+
+}  // namespace
+}  // namespace skyline
