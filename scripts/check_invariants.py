@@ -23,14 +23,17 @@ Rules, each scoped to src/:
       out in release builds, so a side effect inside one changes
       behavior between build modes.
 
-  R4  src/core/kernels.h must never use the bounds-checked row()
-      accessor — kernel hot loops read rows via row_unchecked() (the
-      checked form re-validates per probe and defeats vectorization).
+  R4  Kernel hot-loop files (src/core/kernels.h, the src/core/simd_*
+      backends and src/core/cpu.cc) must never use the bounds-checked
+      row() accessor — kernel hot loops read rows via row_unchecked()
+      (the checked form re-validates per probe and defeats
+      vectorization).
 
-  R5  Kernel-layer files (src/core/kernels.h, src/core/aligned.h) must
-      be free of std::vector reallocation calls (push_back / resize /
-      reserve / ...): kernels operate on caller-owned, pre-sized
-      storage; an allocation inside a kernel is a hot-loop bug.
+  R5  Kernel-layer files (src/core/kernels.h, src/core/aligned.h, the
+      src/core/simd_* backends and src/core/cpu.cc) must be free of
+      std::vector reallocation calls (push_back / resize / reserve /
+      ...): kernels operate on caller-owned, pre-sized storage; an
+      allocation inside a kernel is a hot-loop bug.
 
   R6  In the mutable-dataset layers (src/query/, src/server/), every
       cache-entry read site — a call through the published_ids()
@@ -40,6 +43,14 @@ Rules, each scoped to src/:
       `// epoch-ok: <reason>` comment. Serving a cached answer without
       consulting its epoch is exactly how a pre-update answer leaks
       past ApplyUpdate.
+
+  R7  SIMD intrinsics (immintrin.h and friends, __m128/__m256/__m512
+      vector types, __mmask*, _mm*_* calls) are confined to the
+      src/core/simd_* backend files. Everything else goes through the
+      dispatched kernels:: wrappers, so a single compile flag boundary
+      (per-file -mavx2 / -mavx512*) covers every intrinsic in the tree
+      and no binary built for the baseline ISA can fault on an illegal
+      instruction hidden in an unrelated layer.
 
 Usage:
   scripts/check_invariants.py              lint src/ of this repository
@@ -56,10 +67,18 @@ import sys
 import tempfile
 
 SYNC_HEADER = os.path.join("src", "core", "sync.h")
+# Files under R4 (no bounds-checked row()). The simd_* glob keeps the
+# rule attached to backends added later without editing this list.
+R4_FILES = (os.path.join("src", "core", "kernels.h"),
+            os.path.join("src", "core", "cpu.cc"))
+R4_PREFIX = os.path.join("src", "core", "simd_")
 KERNEL_FILES = (
     os.path.join("src", "core", "kernels.h"),
     os.path.join("src", "core", "aligned.h"),
+    os.path.join("src", "core", "cpu.cc"),
 )
+# Directory prefix whose files may contain SIMD intrinsics (R7).
+SIMD_BACKEND_PREFIX = os.path.join("src", "core", "simd_")
 
 STD_SYNC_TYPES = (
     "mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
@@ -308,20 +327,48 @@ def check_contract_side_effects(relpath, stripped):
 def check_kernel_rules(relpath, stripped):
     findings = []
     norm = relpath.replace(os.sep, "/")
-    if norm == "src/core/kernels.h":
+    in_r4 = (norm in (k.replace(os.sep, "/") for k in R4_FILES)
+             or norm.startswith(R4_PREFIX.replace(os.sep, "/")))
+    in_r5 = (norm in (k.replace(os.sep, "/") for k in KERNEL_FILES)
+             or norm.startswith(SIMD_BACKEND_PREFIX.replace(os.sep, "/")))
+    if in_r4:
         for m in RE_CHECKED_ROW.finditer(stripped):
             findings.append(Finding(
                 "R4", relpath, line_of(stripped, m.start()),
                 "bounds-checked row() in a kernel hot loop — use "
                 "row_unchecked() (ids are pre-validated at the batch "
                 "boundary)"))
-    if norm in (k.replace(os.sep, "/") for k in KERNEL_FILES):
+    if in_r5:
         for m in RE_REALLOC_CALL.finditer(stripped):
             findings.append(Finding(
                 "R5", relpath, line_of(stripped, m.start()),
                 "container reallocation call '%s' in the kernel layer — "
                 "kernels run on caller-owned, pre-sized storage" %
                 m.group(0).lstrip(".>").rstrip("(").strip()))
+    return findings
+
+
+# ---- R7 ------------------------------------------------------------------
+
+RE_INTRINSIC = re.compile(
+    r"#\s*include\s*<[a-z0-9]*intrin\.h>"
+    r"|\b_mm\d*_\w+\s*\("
+    r"|\b__m(128|256|512)[di]?\b"
+    r"|\b__mmask(8|16|32|64)\b")
+
+
+def check_intrinsic_containment(relpath, stripped):
+    norm = relpath.replace(os.sep, "/")
+    if norm.startswith(SIMD_BACKEND_PREFIX.replace(os.sep, "/")):
+        return []
+    findings = []
+    for m in RE_INTRINSIC.finditer(stripped):
+        findings.append(Finding(
+            "R7", relpath, line_of(stripped, m.start()),
+            "SIMD intrinsic '%s' outside src/core/simd_* — only the "
+            "per-file-compiled backend files may use intrinsics; call "
+            "through the dispatched kernels:: wrappers instead" %
+            m.group(0).strip()))
     return findings
 
 
@@ -363,6 +410,7 @@ def lint_file(relpath, text):
     findings += check_contract_side_effects(relpath, stripped)
     findings += check_kernel_rules(relpath, stripped)
     findings += check_epoch_reads(relpath, stripped, raw_lines)
+    findings += check_intrinsic_containment(relpath, stripped)
     return findings
 
 
@@ -440,9 +488,24 @@ SELF_TEST_CASES = [
           return rows.row_unchecked(id)[0];
         }
     """, []),
+    ("R4 checked row() in a SIMD backend", "src/core/simd_avx2.cc", """
+        int Probe(const AlignedDataset& rows, PointId id) {
+          return rows.row(id)[0];
+        }
+    """, ["R4"]),
     ("R5 reallocation in the kernel layer", "src/core/aligned.h", """
         inline void Grow(std::vector<Value>& v) {
           v.push_back(0);
+        }
+    """, ["R5"]),
+    ("R5 reallocation in a SIMD backend", "src/core/simd_avx512.cc", """
+        void Grow(std::vector<Value>& v) {
+          v.resize(64);
+        }
+    """, ["R5"]),
+    ("R5 covers cpu.cc", "src/core/cpu.cc", """
+        void Grow(std::vector<int>& v) {
+          v.reserve(8);
         }
     """, ["R5"]),
     ("R6 epoch-blind cache read", "src/query/bad_read.cc", """
@@ -466,6 +529,33 @@ SELF_TEST_CASES = [
     ("R6 scope excludes other layers", "src/stream/other_read.cc", """
         std::vector<PointId> Serve(const EntryPtr& entry) {
           return entry->published_ids();
+        }
+    """, []),
+    ("R7 intrinsic call outside simd_*", "src/subset/bad_simd.cc", """
+        double Sum(const double* p) {
+          __m256d v = _mm256_loadu_pd(p);
+          return v[0];
+        }
+    """, ["R7", "R7"]),
+    ("R7 intrinsics header include outside simd_*", "src/core/kernels.h",
+     """
+        #include <immintrin.h>
+        inline void Nothing() {}
+    """, ["R7"]),
+    ("R7 mask type leak outside simd_*", "src/query/bad_mask.h", """
+        struct Probe { __mmask8 lanes; };
+    """, ["R7"]),
+    ("R7 intrinsics allowed inside the backends", "src/core/simd_avx2.cc",
+     """
+        #include <immintrin.h>
+        unsigned Lanes(const double* p) {
+          const __m256d v = _mm256_loadu_pd(p);
+          return static_cast<unsigned>(_mm256_movemask_pd(v));
+        }
+    """, []),
+    ("R7 dispatched wrappers stay clean", "src/core/kernels.h", """
+        inline int Probe(const AlignedDataset& rows, PointId id) {
+          return rows.row_unchecked(id)[0];
         }
     """, []),
 ]

@@ -6,7 +6,11 @@ Records are joined on (bench, scenario, algorithm). Two checks per pair:
   * dt_per_point — the mean dominance-test count. Deterministic given
     the scenario seed, so it is the HARD gate: a regression beyond
     --dt-tolerance (default 30%) fails, as does a record present in the
-    baseline but missing from the current report (coverage loss).
+    baseline but missing from the current report (coverage loss) or a
+    record present in the current report but absent from the baseline
+    (an ungated measurement — renames and additions must land with a
+    regenerated baseline, and failing this prints the full
+    expected-vs-found record listing).
     Improvements beyond the tolerance are reported as a reminder to
     refresh the baseline, but do not fail.
   * rt_ms — wall time. Shared CI runners are noisy, so RT is ADVISORY
@@ -132,6 +136,27 @@ def check_pair(current_path, baseline_path, dt_tol, rt_tol):
                       "(correctness, not perf)")
                 failures += 1
 
+    # Symmetric direction: a record the bench now emits that the
+    # baseline does not know is a hard failure too. Before this check, a
+    # renamed or newly added record was simply never compared — the
+    # bench could report anything for it and the gate stayed green
+    # until someone remembered to regenerate the baseline. Fail with the
+    # full expected-vs-found listing so a rename (old name "missing",
+    # new name "unexpected") is obvious at a glance.
+    extras = sorted(set(current) - set(baseline))
+    if extras:
+        for key in extras:
+            print(f"[FAIL] {'/'.join(key)}: record not in {baseline_path} "
+                  "(ungated measurement)")
+        print(f"[FAIL] {current_path}: {len(extras)} record(s) have no "
+              f"baseline — regenerate {baseline_path} from a fresh bench "
+              "run so they are gated.")
+        print(f"  expected (baseline): "
+              f"{', '.join('/'.join(k) for k in sorted(baseline))}")
+        print(f"  found    (current):  "
+              f"{', '.join('/'.join(k) for k in sorted(current))}")
+        failures += len(extras)
+
     print(f"[done] {current_path} vs {baseline_path}: "
           f"{len(baseline)} baseline records, {failures} failures, "
           f"{advisories} RT advisories")
@@ -245,6 +270,19 @@ def self_test():
                           os.path.join(base_dir, "BENCH_emptycur.json"),
                           0.3, 0.75)
         expect("empty current records is a hard failure", f, True)
+
+        # A record added (or renamed) in the current report with no
+        # baseline counterpart fails loudly instead of going ungated —
+        # the historical gap this self-test pins down: only the
+        # baseline->current direction was checked, so new bench records
+        # were never compared at all.
+        write_report(os.path.join(base_dir, "BENCH_extra.json"), [record()])
+        write_report(os.path.join(cur_dir, "BENCH_extra.json"),
+                     [record(), record(algorithm="kernel/renamed")])
+        f, _ = check_pair(os.path.join(cur_dir, "BENCH_extra.json"),
+                          os.path.join(base_dir, "BENCH_extra.json"),
+                          0.3, 0.75)
+        expect("record without a baseline is a hard failure", f, True)
 
         # RT noise alone never fails.
         write_report(os.path.join(cur_dir, "BENCH_rt.json"),

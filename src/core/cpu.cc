@@ -1,0 +1,166 @@
+#include "src/core/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace skyline {
+namespace cpu {
+
+namespace {
+
+using kernels::simd::KernelOps;
+
+/// True when the running CPU can execute the level's instructions.
+/// Compile-time availability of the backend is checked separately.
+bool CpuSupports(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return true;
+    case IsaLevel::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case IsaLevel::kAvx512:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      // F for the masked double compares, BW for the 64-lane byte
+      // compares of the quantized prefilter, VL is implied by BW+F on
+      // every real part but checked anyway for the 256-bit tails.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelOps* CompiledOps(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return &kernels::simd::kScalarOps;
+    case IsaLevel::kAvx2:
+      return kernels::simd::Avx2Ops();
+    case IsaLevel::kAvx512:
+      return kernels::simd::Avx512Ops();
+  }
+  return nullptr;
+}
+
+bool Executable(IsaLevel level) {
+  return CpuSupports(level) && CompiledOps(level) != nullptr;
+}
+
+IsaLevel ComputeDetected() {
+  IsaLevel best = IsaLevel::kScalar;
+  for (IsaLevel level : kAllLevels) {
+    if (Executable(level)) best = level;
+  }
+  return best;
+}
+
+/// The once-resolved dispatch state. `forced` records what
+/// SKYLINE_FORCE_ISA asked for (or -1 when absent/unparseable) so
+/// Description() can surface a clamp.
+struct DispatchState {
+  IsaLevel detected;
+  IsaLevel active;
+  int forced;  // -1: none, otherwise the requested IsaLevel value
+
+  DispatchState() : detected(ComputeDetected()), active(detected), forced(-1) {
+    // Startup-only getenv: resolved exactly once inside this magic
+    // static's initializer, before any concurrent kernel use.
+    const char* env = std::getenv("SKYLINE_FORCE_ISA");  // NOLINT(concurrency-mt-unsafe)
+    if (env == nullptr || *env == '\0') return;
+    const std::string value(env);
+    IsaLevel want = detected;
+    if (value == "scalar") {
+      want = IsaLevel::kScalar;
+    } else if (value == "avx2") {
+      want = IsaLevel::kAvx2;
+    } else if (value == "avx512") {
+      want = IsaLevel::kAvx512;
+    } else {
+      return;  // unknown value: ignore, Description() shows forced=none
+    }
+    forced = static_cast<int>(want);
+    // Clamp: never force a level this process cannot execute.
+    active = Executable(want) && static_cast<int>(want) <=
+                                     static_cast<int>(detected)
+                 ? want
+                 : detected;
+    // Forcing below detected always works (every lower level is
+    // compiled in via the scalar fallback chain); re-check anyway so a
+    // backend-less build degrades safely.
+    if (!Executable(active)) active = IsaLevel::kScalar;
+  }
+};
+
+const DispatchState& State() {
+  static const DispatchState state;
+  return state;
+}
+
+std::atomic<bool>& PrefilterFlag() {
+  static std::atomic<bool> flag = [] {
+    // Startup-only getenv, same discipline as SKYLINE_FORCE_ISA.
+    const char* env = std::getenv("SKYLINE_PREFILTER");  // NOLINT(concurrency-mt-unsafe)
+    if (env == nullptr) return true;
+    const std::string value(env);
+    return !(value == "0" || value == "off" || value == "false");
+  }();
+  return flag;
+}
+
+}  // namespace
+
+const char* IsaName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+IsaLevel DetectedIsa() { return State().detected; }
+
+IsaLevel ActiveIsa() { return State().active; }
+
+const KernelOps* OpsFor(IsaLevel level) {
+  return Executable(level) ? CompiledOps(level) : nullptr;
+}
+
+const KernelOps& ActiveOps() {
+  static const KernelOps& ops = *CompiledOps(State().active);
+  return ops;
+}
+
+bool PrefilterEnabled() {
+  return PrefilterFlag().load(std::memory_order_relaxed);
+}
+
+void SetPrefilterEnabledForTesting(bool enabled) {
+  PrefilterFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::string Description() {
+  const DispatchState& s = State();
+  std::string out = "isa=";
+  out += IsaName(s.active);
+  out += " detected=";
+  out += IsaName(s.detected);
+  out += " forced=";
+  out += s.forced < 0 ? "none" : IsaName(static_cast<IsaLevel>(s.forced));
+  out += " prefilter=";
+  out += PrefilterEnabled() ? "on" : "off";
+  return out;
+}
+
+}  // namespace cpu
+}  // namespace skyline

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/core/cpu.h"
 #include "src/core/dataset.h"
 #include "src/core/kernels.h"
 #include "src/core/subspace.h"
@@ -111,7 +112,9 @@ inline Subspace DominatingSubspaceEx(const Value* q, const Value* p, Dim d,
 /// Internally the tester owns a padded, 64-byte-aligned copy of the
 /// dataset rows (AlignedDataset) and runs the vectorized kernels over
 /// it. The copies are bit-identical, so results match the scalar
-/// reference functions exactly.
+/// reference functions exactly. The quantized prefilter plane of that
+/// copy is built lazily on the first prefilter-sized DominatesAny
+/// window, so constructing a tester costs only the exact-row gather.
 class DominanceTester {
  public:
   explicit DominanceTester(const Dataset& data)
@@ -146,6 +149,14 @@ class DominanceTester {
   /// (first dominator inclusive), exactly like the scalar loop
   /// `for (s : candidates) if (Dominates(s, q)) break;` it replaces.
   bool DominatesAny(std::span<const PointId> candidates, PointId q) {
+    // The quantized prefilter plane is built lazily, the first time a
+    // probe window is large enough for the kernels to use it at all.
+    // Runs whose windows stay below the threshold (correlated data,
+    // tiny skylines) never pay the O(n*d) plane build; after the first
+    // build this is a single flag test.
+    if (candidates.size() >= cpu::kPrefilterMinBlock) {
+      aligned_.EnsureQuantized();
+    }
     const kernels::BatchProbeResult r =
         kernels::DominatesAny(aligned_, candidates, aligned_.row(q), d_);
     tests_ += r.scanned;

@@ -24,6 +24,17 @@
 // statistics stay comparable to the paper no matter which path ran.
 // tests/core/kernel_differential_test.cc enforces both properties.
 //
+// The batched forms are thin wrappers over a per-ISA backend table
+// (src/core/simd_dispatch.h) resolved once per process by src/core/cpu.h:
+// explicit AVX-512/AVX2 intrinsics when the CPU has them, the portable
+// auto-vectorized loops otherwise. Every backend obeys the same
+// semantics contract, so callers see identical results and charges no
+// matter which ISA executed — only the wall clock changes. DominatesAny
+// additionally engages the quantized block prefilter (docs/kernels.md)
+// when the dataset carries a summary plane, the block is large enough
+// to amortize quantizing the probe, and SKYLINE_PREFILTER has not
+// disabled it.
+//
 // Kernels read exactly num_dims values per row: the padding tail of an
 // AlignedDataset row is never loaded (the differential tests poison it).
 #ifndef SKYLINE_CORE_KERNELS_H_
@@ -35,6 +46,8 @@
 
 #include "src/core/aligned_dataset.h"
 #include "src/core/contracts.h"
+#include "src/core/cpu.h"
+#include "src/core/simd_dispatch.h"
 #include "src/core/subspace.h"
 #include "src/core/types.h"
 
@@ -125,26 +138,18 @@ inline Subspace DominatingSubspaceEx(const Value* SKYLINE_RESTRICT q,
   return Subspace(bits);
 }
 
-/// "No dominator found" sentinel of the batched probes.
-inline constexpr std::size_t kNoDominator = static_cast<std::size_t>(-1);
-
-/// Result of a one-vs-many probe over a pivot block.
-struct BatchProbeResult {
-  /// Block index (into the id span) of the first dominator, or
-  /// kNoDominator.
-  std::size_t first = kNoDominator;
-
-  /// Dominance tests a scalar early-exit loop would have charged:
-  /// the number of non-skipped pivots up to and including the first
-  /// dominator, or all non-skipped pivots when none dominates.
-  std::uint64_t scanned = 0;
-};
+// kNoDominator / BatchProbeResult / BatchSubspaceResult live in
+// src/core/simd_dispatch.h (shared with the per-ISA backends) and are
+// re-exported here through the include above.
 
 /// Tests candidate row `q_row` against the block of rows named by `ids`
 /// in a single pass, in block order — the retrieval-loop shape of
 /// SFS-Subset / SaLSa-Subset / SDI-Subset ("does any stored skyline
 /// point dominate q?"). Rows equal to `skip` are passed over without
 /// charge, mirroring the `cand == p` guard of the cross-filter loops.
+/// Dispatches to the active ISA backend; consults the quantized
+/// prefilter when enabled and the block is large enough to amortize
+/// quantizing the probe row.
 inline BatchProbeResult DominatesAny(const AlignedDataset& rows,
                                      std::span<const PointId> ids,
                                      const Value* q_row, Dim d,
@@ -154,39 +159,20 @@ inline BatchProbeResult DominatesAny(const AlignedDataset& rows,
       SKYLINE_ASSERT(id < rows.num_rows(), "DominatesAny: id out of range");
     }
   }
-  BatchProbeResult r;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (ids[i] == skip) continue;
-    ++r.scanned;
-    if (Dominates(rows.row_unchecked(ids[i]), q_row, d)) {
-      r.first = i;
-      return r;
-    }
-  }
-  return r;
+  const bool prefilter = cpu::PrefilterEnabled() &&
+                         ids.size() >= cpu::kPrefilterMinBlock &&
+                         rows.has_quantized();
+  return cpu::ActiveOps().dominates_any(rows, ids, q_row, d, skip, prefilter);
 }
-
-/// Result of folding D_{q<p} over a pivot block.
-struct BatchSubspaceResult {
-  /// Union of D_{q<p} over every pivot scanned before the exit point.
-  Subspace mask;
-
-  /// Block index of the first pivot that weakly dominates q while being
-  /// strictly better somewhere (i.e. q is eliminated), or kNoDominator.
-  std::size_t dominated_by = kNoDominator;
-
-  /// Pivots charged, with the same early-exit semantics as a scalar
-  /// fold: everything up to and including `dominated_by`, or all
-  /// non-skipped pivots.
-  std::uint64_t scanned = 0;
-};
 
 /// Folds the dominating subspace of candidate `q_row` over the pivot
 /// block `ids` in one pass — the mask re-base shape of the parallel
 /// subset engine and the Merge postcondition. A pivot with empty
 /// D_{q<p} that is strictly better somewhere eliminates q and stops the
 /// scan; an exact duplicate of q contributes nothing and the scan
-/// continues, exactly like the scalar loops.
+/// continues, exactly like the scalar loops. Dispatches to the active
+/// ISA backend (no prefilter: every scanned pivot must contribute its
+/// exact mask bits).
 inline BatchSubspaceResult DominatingSubspaceBatch(
     const AlignedDataset& rows, std::span<const PointId> ids,
     const Value* q_row, Dim d, PointId skip = kInvalidPoint) {
@@ -196,26 +182,14 @@ inline BatchSubspaceResult DominatingSubspaceBatch(
                      "DominatingSubspaceBatch: id out of range");
     }
   }
-  BatchSubspaceResult r;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (ids[i] == skip) continue;
-    ++r.scanned;
-    bool q_worse = false;
-    const Subspace m =
-        DominatingSubspaceEx(q_row, rows.row_unchecked(ids[i]), d, &q_worse);
-    if (m.empty() && q_worse) {
-      r.dominated_by = i;
-      return r;
-    }
-    r.mask |= m;
-  }
-  return r;
+  return cpu::ActiveOps().dominating_subspace_batch(rows, ids, q_row, d, skip);
 }
 
 /// The Merge inner-loop shape: D_{q<pivot} plus the q-somewhere-worse
 /// flag for a dense block of rows against one pivot row, one output pair
 /// per input row. No early exit — every active point must learn its mask
-/// — so the charge is exactly row_ids.size() tests.
+/// — so the charge is exactly row_ids.size() tests. Dispatches to the
+/// active ISA backend.
 inline void DominatingSubspaceExBatch(const AlignedDataset& rows,
                                       std::span<const std::uint32_t> row_ids,
                                       const Value* pivot_row, Dim d,
@@ -227,12 +201,8 @@ inline void DominatingSubspaceExBatch(const AlignedDataset& rows,
                      "DominatingSubspaceExBatch: row out of range");
     }
   }
-  for (std::size_t i = 0; i < row_ids.size(); ++i) {
-    bool worse = false;
-    out_masks[i] = DominatingSubspaceEx(rows.row_unchecked(row_ids[i]),
-                                        pivot_row, d, &worse);
-    out_worse[i] = worse ? 1 : 0;
-  }
+  cpu::ActiveOps().dominating_subspace_ex_batch(rows, row_ids, pivot_row, d,
+                                                out_masks, out_worse);
 }
 
 }  // namespace kernels

@@ -1,0 +1,101 @@
+// Dispatch table of the batched dominance kernels: the result structs
+// shared by every ISA backend, the function-pointer table the runtime
+// dispatcher (src/core/cpu.h) resolves once per process, and the
+// per-ISA entry points implemented in src/core/simd_{scalar,avx2,
+// avx512}.cc.
+//
+// Layering contract (enforced by scripts/check_invariants.py R7): raw
+// intrinsics live ONLY in src/core/simd_*.cc. Everything else — the
+// public wrappers of src/core/kernels.h included — reaches a batched
+// kernel through KernelOps, so exactly one place decides which ISA
+// executes and the differential tests can pin every backend against
+// the scalar reference.
+//
+// Every backend implements the same semantics contract as the scalar
+// reference loops (see src/core/kernels.h): bit-identical booleans,
+// Subspace bits, early-exit points, and `scanned` charges. The
+// `prefilter` flag of `dominates_any` additionally allows the backend
+// to consult the quantized summary plane of the AlignedDataset (see
+// docs/kernels.md): a quantized reject is sound by construction, so
+// results and charges are identical with the flag on or off.
+#ifndef SKYLINE_CORE_SIMD_DISPATCH_H_
+#define SKYLINE_CORE_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/core/aligned_dataset.h"
+#include "src/core/subspace.h"
+#include "src/core/types.h"
+
+namespace skyline {
+namespace kernels {
+
+/// "No dominator found" sentinel of the batched probes.
+inline constexpr std::size_t kNoDominator = static_cast<std::size_t>(-1);
+
+/// Result of a one-vs-many probe over a pivot block.
+struct BatchProbeResult {
+  /// Block index (into the id span) of the first dominator, or
+  /// kNoDominator.
+  std::size_t first = kNoDominator;
+
+  /// Dominance tests a scalar early-exit loop would have charged:
+  /// the number of non-skipped pivots up to and including the first
+  /// dominator, or all non-skipped pivots when none dominates.
+  std::uint64_t scanned = 0;
+};
+
+/// Result of folding D_{q<p} over a pivot block.
+struct BatchSubspaceResult {
+  /// Union of D_{q<p} over every pivot scanned before the exit point.
+  Subspace mask;
+
+  /// Block index of the first pivot that weakly dominates q while being
+  /// strictly better somewhere (i.e. q is eliminated), or kNoDominator.
+  std::size_t dominated_by = kNoDominator;
+
+  /// Pivots charged, with the same early-exit semantics as a scalar
+  /// fold: everything up to and including `dominated_by`, or all
+  /// non-skipped pivots.
+  std::uint64_t scanned = 0;
+};
+
+namespace simd {
+
+/// One ISA backend of the batched kernels. Callers never invoke a
+/// backend directly; they go through cpu::ActiveOps() (or, in the
+/// differential tests, cpu::OpsFor(level)).
+struct KernelOps {
+  BatchProbeResult (*dominates_any)(const AlignedDataset& rows,
+                                    std::span<const PointId> ids,
+                                    const Value* q_row, Dim d, PointId skip,
+                                    bool prefilter);
+  BatchSubspaceResult (*dominating_subspace_batch)(const AlignedDataset& rows,
+                                                   std::span<const PointId> ids,
+                                                   const Value* q_row, Dim d,
+                                                   PointId skip);
+  void (*dominating_subspace_ex_batch)(const AlignedDataset& rows,
+                                       std::span<const std::uint32_t> row_ids,
+                                       const Value* pivot_row, Dim d,
+                                       Subspace* out_masks,
+                                       std::uint8_t* out_worse);
+};
+
+/// Portable backend: the flag-accumulating loops the compiler
+/// auto-vectorizes — the pre-dispatch behavior of this layer, kept as
+/// the semantic reference and the fallback on every platform.
+extern const KernelOps kScalarOps;
+
+/// Explicit-intrinsics backends. Null when the translation unit was
+/// compiled without the matching -m flags (non-x86 target or an old
+/// compiler); the dispatcher then never offers the level.
+const KernelOps* Avx2Ops();
+const KernelOps* Avx512Ops();
+
+}  // namespace simd
+}  // namespace kernels
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SIMD_DISPATCH_H_

@@ -56,11 +56,38 @@ void JsonReport::Add(BenchRecord record) {
   records_.push_back(std::move(record));
 }
 
+void JsonReport::SetMeta(const std::string& key, const std::string& value) {
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += Escape(value);
+  quoted += '"';
+  SetMetaJson(key, std::move(quoted));
+}
+
+void JsonReport::SetMetaJson(const std::string& key, std::string raw_json) {
+  for (auto& entry : meta_) {
+    if (entry.first == key) {
+      entry.second = std::move(raw_json);
+      return;
+    }
+  }
+  meta_.emplace_back(key, std::move(raw_json));
+}
+
 std::string JsonReport::ToJson() const {
   std::string out;
   out += "{\n";
   out += "  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
   out += "  \"bench\": \"" + Escape(bench_) + "\",\n";
+  if (!meta_.empty()) {
+    out += "  \"meta\": {\n";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      out += "    \"" + Escape(meta_[i].first) + "\": " + meta_[i].second;
+      out += i + 1 < meta_.size() ? ",\n" : "\n";
+    }
+    out += "  },\n";
+  }
   out += "  \"records\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const BenchRecord& r = records_[i];

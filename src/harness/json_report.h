@@ -8,6 +8,7 @@
 //   {
 //     "schema_version": 1,
 //     "bench": "<binary name>",
+//     "meta": { "<key>": <string or raw JSON>, ... },   // optional
 //     "records": [
 //       {
 //         "bench": "<binary name>",
@@ -32,6 +33,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace skyline {
@@ -60,6 +62,17 @@ class JsonReport {
   /// Appends a record; an empty `record.bench` inherits the report name.
   void Add(BenchRecord record);
 
+  /// Sets a string-valued entry of the top-level "meta" object —
+  /// machine-environment context (e.g. the resolved ISA dispatch line)
+  /// that describes the run without being a gateable record.
+  /// scripts/check_perf.py ignores unknown top-level keys by design.
+  void SetMeta(const std::string& key, const std::string& value);
+
+  /// Sets a meta entry whose value is pre-rendered JSON (an array or
+  /// object the caller built), emitted verbatim. The caller guarantees
+  /// well-formedness.
+  void SetMetaJson(const std::string& key, std::string raw_json);
+
   const std::vector<BenchRecord>& records() const { return records_; }
   const std::string& bench() const { return bench_; }
 
@@ -76,6 +89,8 @@ class JsonReport {
  private:
   std::string bench_;
   std::vector<BenchRecord> records_;
+  /// Insertion-ordered (key, raw-JSON-value) meta entries.
+  std::vector<std::pair<std::string, std::string>> meta_;
 };
 
 }  // namespace skyline

@@ -61,8 +61,11 @@ std::vector<PointId> ParallelSubsetSfs::Compute(const Dataset& data,
 
   // One shared, padded, cache-line-aligned copy of the rows: every
   // cross-partition probe below runs the vectorized kernels over it.
-  // Read-only after construction, so all workers share it freely.
-  const AlignedDataset aligned(data);
+  // Read-only after construction, so all workers share it freely —
+  // which is why the (otherwise lazy) quantized prefilter plane must
+  // be built up front, before the workers start probing.
+  AlignedDataset aligned(data);
+  aligned.EnsureQuantized();
 
   const std::size_t num_parts =
       partitions_ > 0 ? partitions_ : DeterministicPartitionCount(n);

@@ -153,6 +153,11 @@ std::vector<PointId> QueryService::ComputeSeededCore(
     const std::vector<PointId>& candidates, std::uint64_t* tests) const {
   // Candidates come from a current-epoch entry, so every id is live.
   if (candidates.size() < options_.seeded_boost_threshold) {
+    // Warm this worker's projection scratch to the largest shape the
+    // boosted path can see (threshold-sized seed, full dimensionality),
+    // so repeated seeded queries stop allocating.
+    WarmSubspaceScratch(options_.seeded_boost_threshold,
+                        version.data.num_dims());
     return SubspaceSkylineOverCandidates(version.data, v, candidates, tests);
   }
   // Large seed (e.g. a near-total anti-correlated full-space skyline):

@@ -5,7 +5,27 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "src/core/aligned_dataset.h"
+#include "src/core/cpu.h"
+#include "src/core/kernels.h"
+
 namespace skyline {
+
+namespace {
+
+/// Per-thread scratch block of SubspaceSkylineOverCandidates; function-
+/// scoped so WarmSubspaceScratch can pre-size it for a whole session of
+/// seeded queries.
+AlignedDataset& SubspaceScratchBlock() {
+  thread_local AlignedDataset block;
+  return block;
+}
+
+}  // namespace
+
+void WarmSubspaceScratch(std::size_t rows, Dim dims) {
+  SubspaceScratchBlock().Reserve(rows, dims);
+}
 
 bool DominatesInSubspace(const Value* a, const Value* b, Subspace subspace) {
   bool strict = false;
@@ -28,30 +48,76 @@ bool EqualInSubspace(const Value* a, const Value* b, Subspace subspace) {
 std::vector<PointId> SubspaceSkylineOverCandidates(
     const Dataset& data, Subspace subspace,
     const std::vector<PointId>& candidates, std::uint64_t* tests) {
-  std::vector<PointId> window;
+  if (candidates.empty() || subspace.empty()) {
+    // Degenerate inputs keep the historical scalar behavior (an empty
+    // subspace never dominates, so every candidate survives).
+    std::vector<PointId> window;
+    std::uint64_t local_tests = 0;
+    for (PointId p : candidates) {
+      local_tests += window.size();
+      window.push_back(p);
+    }
+    if (tests != nullptr) *tests += local_tests;
+    return window;
+  }
+
+  // Gather the candidate rows projected onto the subspace into an
+  // aligned block once, then run the BNL window through the dispatched
+  // batched kernels — dominance restricted to the subspace is exactly
+  // full-space dominance on the projected rows. Thread-local scratch:
+  // the seeded query path calls this once per query, and a warmed
+  // thread reuses the block's capacity instead of reallocating
+  // (AlignedDataset::Assign + WarmSubspaceScratch).
+  AlignedDataset& block = SubspaceScratchBlock();
+  thread_local std::vector<PointId> window;
+  block.AssignProjected(data, subspace, candidates);
+  const Dim d = block.num_dims();
+  window.clear();
   std::uint64_t local_tests = 0;
-  for (PointId p : candidates) {
-    const Value* row = data.row(p);
-    bool dominated = false;
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    const Value* q = block.row_unchecked(ci);
+    // Lazy prefilter plane: built the first time the window is big
+    // enough for the kernels to consult it (a flag test afterwards),
+    // so small-window subspaces skip the build entirely.
+    if (window.size() >= cpu::kPrefilterMinBlock) block.EnsureQuantized();
+    // One charged test per window entry up to and including the first
+    // dominator — identical to the scalar window scan.
+    const kernels::BatchProbeResult probe =
+        kernels::DominatesAny(block, window, q, d);
+    local_tests += probe.scanned;
     std::size_t keep = 0;
+    if (probe.first != kernels::kNoDominator) {
+      // Dominated: replay the (uncharged) reverse evictions the scalar
+      // scan applied to the entries it inspected before the dominator;
+      // everything from the dominator onward stays.
+      for (std::size_t i = 0; i < probe.first; ++i) {
+        const PointId w = window[i];
+        if (!kernels::Dominates(q, block.row_unchecked(w), d)) {
+          window[keep++] = w;
+        }
+      }
+      for (std::size_t i = probe.first; i < window.size(); ++i) {
+        window[keep++] = window[i];
+      }
+      window.resize(keep);
+      continue;
+    }
+    // Survivor: evict every window entry the candidate dominates
+    // (uncharged, like the scalar scan), then append it.
     for (std::size_t i = 0; i < window.size(); ++i) {
       const PointId w = window[i];
-      ++local_tests;
-      if (DominatesInSubspace(data.row(w), row, subspace)) {
-        dominated = true;
-        for (std::size_t j = i; j < window.size(); ++j) {
-          window[keep++] = window[j];
-        }
-        break;
+      if (!kernels::Dominates(q, block.row_unchecked(w), d)) {
+        window[keep++] = w;
       }
-      if (DominatesInSubspace(row, data.row(w), subspace)) continue;
-      window[keep++] = w;
     }
     window.resize(keep);
-    if (!dominated) window.push_back(p);
+    window.push_back(static_cast<PointId>(ci));
   }
   if (tests != nullptr) *tests += local_tests;
-  return window;
+  std::vector<PointId> out;
+  out.reserve(window.size());
+  for (PointId ci : window) out.push_back(candidates[ci]);
+  return out;
 }
 
 namespace {

@@ -45,6 +45,12 @@ std::vector<PointId> SubspaceSkylineOverCandidates(
     const Dataset& data, Subspace subspace,
     const std::vector<PointId>& candidates, std::uint64_t* tests = nullptr);
 
+/// Pre-sizes the calling thread's SubspaceSkylineOverCandidates scratch
+/// block (AlignedDataset::Reserve) for up to `rows` candidates of
+/// `dims` dimensions, so a session of seeded queries at or below that
+/// shape never reallocates. Idempotent and cheap when already warm.
+void WarmSubspaceScratch(std::size_t rows, Dim dims);
+
 /// The duplicate-projection tie repair of the top-down sharing scheme:
 /// every point of `data` whose projection onto `subspace` equals that of
 /// some member of `core`, ids ascending. With `core` being the

@@ -40,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "src/core/aligned_dataset.h"
 #include "src/core/dataset.h"
 #include "src/core/stats.h"
 #include "src/core/subspace.h"
@@ -200,8 +201,13 @@ class StreamingSkyline {
 
   bool frozen_ = false;
   std::vector<PointId> reference_;  // external ids, for reporting
-  std::vector<Value> ref_values_;   // flat copy of the reference rows
-  SubsetIndex index_;               // keyed by external id
+  // Snapshot of the reference rows as an aligned block, so the arrival
+  // filter runs through the dispatched batched kernels. ref_rows_ is
+  // the identity id list 0..n-1 the batch calls scan (built once per
+  // freeze, reused by every insert).
+  AlignedDataset ref_block_;
+  std::vector<PointId> ref_rows_;
+  SubsetIndex index_;  // keyed by external id
   std::vector<PointId> scratch_;    // candidate buffer
 
   // Current adaptation window. The effective interval starts at

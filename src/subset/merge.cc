@@ -35,7 +35,9 @@ MergeResult MergeSubspacesOver(const Dataset& data,
   // cache-line-aligned block: every inner-loop scan below runs the
   // vectorized kernels over this block instead of chasing rows of the
   // source Dataset. The copies are bit-identical, so results and counts
-  // match the scalar path exactly.
+  // match the scalar path exactly. No quantized plane: the per-pivot
+  // pass uses the exact-only mask-fold kernel, so the prefilter plane
+  // would never be read here.
   const AlignedDataset block(data, ids);
 
   // Line 1: score each point by (squared) Euclidean distance to the

@@ -4,17 +4,21 @@
 // degenerate dimensionalities (d=1, d=64 — the Subspace maximum),
 // padded-tail garbage, and identical dominance-test charges from the
 // batched paths (the DominanceTester counter contract).
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <numeric>
 #include <random>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/aligned_dataset.h"
+#include "src/core/cpu.h"
 #include "src/core/dominance.h"
 #include "src/core/kernels.h"
+#include "src/core/simd_dispatch.h"
 
 namespace skyline {
 namespace {
@@ -138,7 +142,10 @@ TEST(KernelDifferentialTest, DominatesAnyMatchesScalarLoopAndCharge) {
   for (Dim d : {Dim{1}, Dim{4}, Dim{8}, Dim{24}}) {
     const std::size_t n = 64;
     const Dataset data = TieHeavyDataset(n, d, 4000 + d);
-    const AlignedDataset aligned(data);
+    AlignedDataset aligned(data);
+    // Plane built so the dispatched wrapper engages the prefilter on
+    // the threshold-sized candidate lists below.
+    aligned.EnsureQuantized();
     for (int trial = 0; trial < 200; ++trial) {
       std::vector<PointId> candidates(rng() % 12);
       for (PointId& c : candidates) c = static_cast<PointId>(rng() % n);
@@ -291,6 +298,327 @@ TEST(KernelDifferentialTest, SingleDimensionAndMaxDimensionEdges) {
         Subspace{});
     EXPECT_TRUE(w);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Per-backend differentials: every backend cpu::OpsFor exposes (scalar,
+// AVX2, AVX-512 — whichever are executable here), with the quantized
+// prefilter both off and on, must reproduce the scalar reference loops
+// exactly: same booleans, same Subspace bits, same `scanned` charges.
+// CI additionally runs this whole binary once per backend under
+// SKYLINE_FORCE_ISA, which exercises the *dispatched* wrappers of
+// src/core/kernels.h per level; the loops below cover every compiled
+// backend within a single process regardless of the forced level.
+// ---------------------------------------------------------------------------
+
+/// Scalar early-exit DominatesAny reference (result + charge).
+void ScalarDominatesAny(const Dataset& data,
+                        const std::vector<PointId>& candidates, PointId q,
+                        Dim d, PointId skip, std::size_t* first,
+                        std::uint64_t* scanned) {
+  *first = kernels::kNoDominator;
+  *scanned = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i] == skip) continue;
+    ++*scanned;
+    if (Dominates(data.row(candidates[i]), data.row(q), d)) {
+      *first = i;
+      return;
+    }
+  }
+}
+
+/// Scalar mask-fold reference for DominatingSubspaceBatch.
+void ScalarSubspaceFold(const Dataset& data,
+                        const std::vector<PointId>& pivots, PointId q, Dim d,
+                        PointId skip, Subspace* mask,
+                        std::size_t* dominated_by, std::uint64_t* scanned) {
+  *mask = Subspace{};
+  *dominated_by = kernels::kNoDominator;
+  *scanned = 0;
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    if (pivots[i] == skip) continue;
+    ++*scanned;
+    bool worse = false;
+    const Subspace m =
+        DominatingSubspaceEx(data.row(q), data.row(pivots[i]), d, &worse);
+    if (m.empty() && worse) {
+      *dominated_by = i;
+      return;
+    }
+    *mask |= m;
+  }
+}
+
+/// Runs the full batched differential (both batch kernels, random
+/// candidate lists with duplicates and skips) for one backend and
+/// prefilter setting against one dataset.
+void CheckBackendAgainstScalar(const kernels::simd::KernelOps& ops,
+                               const char* isa, bool prefilter,
+                               const Dataset& data,
+                               const AlignedDataset& aligned, Dim d,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::size_t n = data.num_points();
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<PointId> candidates(rng() % 20);
+    for (PointId& c : candidates) c = static_cast<PointId>(rng() % n);
+    const PointId q = static_cast<PointId>(rng() % n);
+    const PointId skip = (trial % 3 == 0) && !candidates.empty()
+                             ? candidates[rng() % candidates.size()]
+                             : kInvalidPoint;
+
+    std::size_t want_first;
+    std::uint64_t want_scanned;
+    ScalarDominatesAny(data, candidates, q, d, skip, &want_first,
+                       &want_scanned);
+    const kernels::BatchProbeResult probe =
+        ops.dominates_any(aligned, candidates, aligned.row(q), d, skip,
+                          prefilter);
+    EXPECT_EQ(probe.first, want_first)
+        << isa << " prefilter=" << prefilter << " d=" << d
+        << " trial=" << trial;
+    EXPECT_EQ(probe.scanned, want_scanned)
+        << isa << " prefilter=" << prefilter << " d=" << d
+        << " trial=" << trial;
+
+    Subspace want_mask;
+    std::size_t want_dom;
+    ScalarSubspaceFold(data, candidates, q, d, skip, &want_mask, &want_dom,
+                       &want_scanned);
+    const kernels::BatchSubspaceResult fold = ops.dominating_subspace_batch(
+        aligned, candidates, aligned.row(q), d, skip);
+    EXPECT_EQ(fold.dominated_by, want_dom)
+        << isa << " d=" << d << " trial=" << trial;
+    EXPECT_EQ(fold.scanned, want_scanned)
+        << isa << " d=" << d << " trial=" << trial;
+    if (fold.dominated_by == kernels::kNoDominator) {
+      EXPECT_EQ(fold.mask, want_mask) << isa << " d=" << d
+                                      << " trial=" << trial;
+    }
+  }
+
+  // The one-vs-many Ex form (Merge inner loop) per backend.
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t i = 0; i < n; i += 3) rows.push_back(i);
+  std::vector<Subspace> masks(rows.size());
+  std::vector<std::uint8_t> worse(rows.size());
+  for (PointId pivot = 0; pivot < std::min<std::size_t>(n, 6); ++pivot) {
+    ops.dominating_subspace_ex_batch(aligned, rows, aligned.row(pivot), d,
+                                     masks.data(), worse.data());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      bool scalar_worse = false;
+      const Subspace m = DominatingSubspaceEx(data.row(rows[i]),
+                                              data.row(pivot), d,
+                                              &scalar_worse);
+      EXPECT_EQ(masks[i], m) << isa << " d=" << d << " i=" << i;
+      EXPECT_EQ(worse[i] != 0, scalar_worse)
+          << isa << " d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, EveryBackendMatchesScalarWithPoisonedPadding) {
+  for (Dim d : {Dim{1}, Dim{4}, Dim{8}, Dim{13}, Dim{24}, Dim{64}}) {
+    const std::size_t n = 72;
+    const Dataset data = TieHeavyDataset(n, d, 8000 + d);
+    AlignedDataset aligned(data);
+    // The exact plane's padding is poisoned; tail loads in the SIMD
+    // backends must mask it out. (The quantized plane keeps its neutral
+    // zero padding — that IS its contract.)
+    aligned.FillPaddingForTesting(std::numeric_limits<Value>::quiet_NaN());
+    // Built AFTER poisoning: the lazy plane build sweeps only the
+    // packed columns, so poison in the tail must not leak into the
+    // grid (or trip its finiteness check).
+    ASSERT_TRUE(aligned.EnsureQuantized());
+    ASSERT_TRUE(aligned.has_quantized());
+    for (cpu::IsaLevel level : cpu::kAllLevels) {
+      const kernels::simd::KernelOps* ops = cpu::OpsFor(level);
+      if (ops == nullptr) continue;
+      for (bool prefilter : {false, true}) {
+        CheckBackendAgainstScalar(*ops, cpu::IsaName(level), prefilter, data,
+                                  aligned, d, 9000 + d);
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, BackendsAgreeOnBucketBoundaryValues) {
+  // Rows drawn from the exact bucket-edge lattice of the quantization
+  // grid: with per-dimension range [0, 255] the grid maps v to bucket
+  // floor(v), so values k, k - eps, k + eps straddle bucket borders —
+  // the spots where an unsound rounding rule would let the prefilter
+  // reject a true dominator.
+  const Dim d = 6;
+  std::mt19937_64 rng(0xb0a7);
+  Dataset data(d);
+  std::vector<Value> row(d);
+  // Anchor rows pinning the grid to [0, 255] in every dimension.
+  std::fill(row.begin(), row.end(), 0.0);
+  data.Append(row);
+  std::fill(row.begin(), row.end(), 255.0);
+  data.Append(row);
+  for (int i = 0; i < 96; ++i) {
+    for (Dim k = 0; k < d; ++k) {
+      const double base = static_cast<double>(rng() % 256);
+      const int jitter = static_cast<int>(rng() % 3) - 1;
+      row[k] = std::min(255.0, std::max(0.0, base + jitter * 1e-9));
+    }
+    data.Append(row);
+  }
+  AlignedDataset aligned(data);
+  ASSERT_TRUE(aligned.EnsureQuantized());
+  for (cpu::IsaLevel level : cpu::kAllLevels) {
+    const kernels::simd::KernelOps* ops = cpu::OpsFor(level);
+    if (ops == nullptr) continue;
+    CheckBackendAgainstScalar(*ops, cpu::IsaName(level), /*prefilter=*/true,
+                              data, aligned, d, 0xfeed);
+  }
+}
+
+TEST(KernelDifferentialTest, QuantizeRowIsMonotoneAndExactOnMembers) {
+  const Dim d = 9;
+  const Dataset data = TieHeavyDataset(64, d, 11000);
+  AlignedDataset aligned(data);
+  ASSERT_TRUE(aligned.EnsureQuantized());
+
+  // Member rows quantize to exactly their stored quantized line — the
+  // probe-side QuantizeRow and the build-side bucketing must be the
+  // same function, or a row could prefilter-reject itself.
+  alignas(kRowAlignment) std::uint8_t qbuf[AlignedDataset::kQuantStride];
+  for (std::size_t i = 0; i < aligned.num_rows(); ++i) {
+    ASSERT_TRUE(aligned.QuantizeRow(aligned.row(i), qbuf));
+    const std::uint8_t* stored = aligned.qrow_unchecked(i);
+    for (std::size_t b = 0; b < AlignedDataset::kQuantStride; ++b) {
+      ASSERT_EQ(qbuf[b], stored[b]) << "row=" << i << " byte=" << b;
+    }
+  }
+
+  // Monotone per dimension: v1 <= v2 implies bucket(v1) <= bucket(v2),
+  // including values far outside the build range (they clamp).
+  std::mt19937_64 rng(0xc0de);
+  std::vector<Value> a(d), b(d);
+  alignas(kRowAlignment) std::uint8_t qa[AlignedDataset::kQuantStride];
+  alignas(kRowAlignment) std::uint8_t qb[AlignedDataset::kQuantStride];
+  for (int trial = 0; trial < 500; ++trial) {
+    for (Dim k = 0; k < d; ++k) {
+      const double lo = -1.0 + 3.0 * (static_cast<double>(rng() % 10000) /
+                                      10000.0);
+      const double hi = lo + 2.0 * (static_cast<double>(rng() % 10000) /
+                                    10000.0);
+      a[k] = lo;
+      b[k] = hi;
+    }
+    ASSERT_TRUE(aligned.QuantizeRow(a.data(), qa));
+    ASSERT_TRUE(aligned.QuantizeRow(b.data(), qb));
+    for (Dim k = 0; k < d; ++k) {
+      EXPECT_LE(qa[k], qb[k]) << "trial=" << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, NonFiniteProbeSkipsPrefilterButStaysExact) {
+  // Dataset finite (quantized plane exists) but the probe row has a
+  // NaN / infinity: QuantizeRow must refuse it and the batch kernels
+  // must still match the scalar reference bit for bit with the
+  // prefilter requested.
+  const Dim d = 5;
+  const Dataset data = TieHeavyDataset(48, d, 12000);
+  AlignedDataset aligned(data);
+  ASSERT_TRUE(aligned.EnsureQuantized());
+
+  const Value kBad[] = {std::numeric_limits<Value>::quiet_NaN(),
+                        std::numeric_limits<Value>::infinity(),
+                        -std::numeric_limits<Value>::infinity()};
+  std::vector<PointId> all(aligned.num_rows());
+  std::iota(all.begin(), all.end(), PointId{0});
+  for (Value bad : kBad) {
+    std::vector<Value> probe(data.row(7), data.row(7) + d);
+    probe[d / 2] = bad;
+    alignas(kRowAlignment) std::uint8_t qbuf[AlignedDataset::kQuantStride];
+    EXPECT_FALSE(aligned.QuantizeRow(probe.data(), qbuf));
+
+    // Scalar reference over the raw probe values.
+    std::size_t want_first = kernels::kNoDominator;
+    std::uint64_t want_scanned = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      ++want_scanned;
+      if (Dominates(data.row(all[i]), probe.data(), d)) {
+        want_first = i;
+        break;
+      }
+    }
+    for (cpu::IsaLevel level : cpu::kAllLevels) {
+      const kernels::simd::KernelOps* ops = cpu::OpsFor(level);
+      if (ops == nullptr) continue;
+      const kernels::BatchProbeResult r = ops->dominates_any(
+          aligned, all, probe.data(), d, kInvalidPoint, /*prefilter=*/true);
+      EXPECT_EQ(r.first, want_first) << cpu::IsaName(level);
+      EXPECT_EQ(r.scanned, want_scanned) << cpu::IsaName(level);
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, NonFiniteDatasetHasNoQuantizedPlane) {
+  const Dim d = 4;
+  Dataset data = TieHeavyDataset(16, d, 13000);
+  std::vector<Value> row(d, 0.25);
+  row[1] = std::numeric_limits<Value>::quiet_NaN();
+  data.Append(row);
+  AlignedDataset aligned(data);
+  EXPECT_FALSE(aligned.EnsureQuantized());
+  EXPECT_FALSE(aligned.has_quantized());
+  // The dispatched wrapper (which only requests the prefilter when the
+  // plane exists) must still agree with the scalar loop.
+  std::vector<PointId> all(aligned.num_rows());
+  std::iota(all.begin(), all.end(), PointId{0});
+  for (PointId q = 0; q < aligned.num_rows(); ++q) {
+    std::size_t want_first;
+    std::uint64_t want_scanned;
+    ScalarDominatesAny(data, all, q, d, kInvalidPoint, &want_first,
+                       &want_scanned);
+    const kernels::BatchProbeResult r =
+        kernels::DominatesAny(aligned, all, aligned.row(q), d);
+    EXPECT_EQ(r.first, want_first) << "q=" << q;
+    EXPECT_EQ(r.scanned, want_scanned) << "q=" << q;
+  }
+}
+
+TEST(KernelDifferentialTest, QuantizedPlaneIsLazyAndResetByAssign) {
+  const Dim d = 5;
+  const Dataset data = TieHeavyDataset(24, d, 14000);
+  AlignedDataset aligned(data);
+  // No plane until explicitly requested.
+  EXPECT_FALSE(aligned.has_quantized());
+  EXPECT_TRUE(aligned.EnsureQuantized());
+  EXPECT_TRUE(aligned.has_quantized());
+  // Idempotent.
+  EXPECT_TRUE(aligned.EnsureQuantized());
+  // Re-assigning drops the stale plane (its grid belongs to the old
+  // contents); a fresh Ensure rebuilds it for the new rows.
+  const Dataset other = TieHeavyDataset(12, d, 15000);
+  aligned.Assign(other);
+  EXPECT_FALSE(aligned.has_quantized());
+  EXPECT_TRUE(aligned.EnsureQuantized());
+  alignas(kRowAlignment) std::uint8_t qbuf[AlignedDataset::kQuantStride];
+  for (std::size_t i = 0; i < aligned.num_rows(); ++i) {
+    ASSERT_TRUE(aligned.QuantizeRow(aligned.row(i), qbuf));
+    const std::uint8_t* stored = aligned.qrow_unchecked(i);
+    for (std::size_t b = 0; b < AlignedDataset::kQuantStride; ++b) {
+      ASSERT_EQ(qbuf[b], stored[b]) << "row=" << i << " byte=" << b;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, DispatcherInvariants) {
+  // The active level is always executable, never above the detected
+  // level, and the scalar backend is unconditionally available.
+  EXPECT_NE(cpu::OpsFor(cpu::ActiveIsa()), nullptr);
+  EXPECT_LE(static_cast<int>(cpu::ActiveIsa()),
+            static_cast<int>(cpu::DetectedIsa()));
+  EXPECT_NE(cpu::OpsFor(cpu::IsaLevel::kScalar), nullptr);
+  EXPECT_EQ(cpu::OpsFor(cpu::IsaLevel::kScalar),
+            &kernels::simd::kScalarOps);
 }
 
 }  // namespace
